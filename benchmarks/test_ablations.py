@@ -1,0 +1,63 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper artifact — these quantify the contribution of (a) the candidate
+cap, (b) the dynamic residual-pool candidates, and (c) the constraint class
+choice (the paper's stated reason for running proportion constraints).
+"""
+
+from repro.bench.ablation import (
+    ablation_candidate_cap,
+    ablation_constraint_class,
+    ablation_dynamic_candidates,
+    ablation_refinement,
+)
+from repro.bench.reporting import experiment_table
+
+
+def test_ablation_candidate_cap(once, benchmark):
+    experiment = once(benchmark, ablation_candidate_cap)
+    print("\nAblation — max_candidates cap:")
+    print(experiment_table(experiment, "accuracy"))
+    print(experiment_table(experiment, "dropped"))
+    points = experiment.series["maxfanout"]
+    by_cap = {p.x: p for p in points}
+    # A larger candidate pool never drops more constraints.
+    caps = sorted(by_cap)
+    assert by_cap[caps[-1]].extras["dropped"] <= by_cap[caps[0]].extras["dropped"]
+
+
+def test_ablation_dynamic_candidates(once, benchmark):
+    outcome = once(benchmark, ablation_dynamic_candidates)
+    print(f"\nAblation — dynamic residual candidates: {outcome}")
+    dynamic, static = outcome["dynamic"], outcome["static"]
+    # The nested-constraint instance is solvable only through the dynamic
+    # refinement: static pools collide and exhaust, dynamic coordinates.
+    assert dynamic["success"] and not static["success"]
+    assert dynamic["candidates_tried"] < static["candidates_tried"]
+
+
+def test_ablation_refinement(once, benchmark):
+    outcome = once(benchmark, ablation_refinement)
+    print(f"\nAblation — suppression-minimality refinement: {outcome}")
+    # The polish never hurts: stars monotonically non-increasing, accuracy
+    # monotonically non-decreasing.
+    assert outcome["stars_after"] <= outcome["stars_before"]
+    assert outcome["accuracy_after"] >= outcome["accuracy_before"] - 1e-9
+    assert outcome["stars_saved"] == (
+        outcome["stars_before"] - outcome["stars_after"]
+    )
+
+
+def test_ablation_constraint_class(once, benchmark):
+    experiment = once(benchmark, ablation_constraint_class)
+    print("\nAblation — constraint class (paper ran proportions):")
+    print(experiment_table(experiment, "accuracy"))
+    print(experiment_table(experiment, "dropped"))
+    for name, points in experiment.series.items():
+        for point in points:
+            assert 0.0 <= point.accuracy <= 1.0
+    # Proportion constraints are satisfiable on their own terms (the
+    # paper's reason for preferring them: less sensitivity than average).
+    proportion = experiment.series["proportion"][0]
+    average = experiment.series["average"][0]
+    assert proportion.extras["dropped"] <= average.extras["dropped"]

@@ -1,0 +1,102 @@
+"""Figure 4a — runtime vs |Σ| (Census).
+
+Paper shape: DIVA-Basic's runtime grows explosively with |Σ| (it can assign
+O(|R|) clusterings to each constraint in arbitrary order), while MinChoice
+and MaxFanOut scale roughly linearly thanks to their pruning orders.
+
+We assert two things at laptop scale:
+
+1. runtime grows with |Σ| for every strategy on the Census sweep;
+2. on an adversarial instance (one rigid constraint whose only clustering
+   competes with many permissive neighbours), Basic backtracks strictly
+   more than both informed strategies — the mechanism behind its blow-up.
+"""
+
+import numpy as np
+
+from repro.bench import experiment_table, fig4ab_vs_nconstraints
+from repro.core.coloring import ColoringSearch
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.data.relation import Relation, Schema
+
+SIGMA_SIZES = (4, 8, 12)
+
+
+def test_fig4a_runtime_vs_nconstraints(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig4ab_vs_nconstraints(
+            sigma_sizes=SIGMA_SIZES, n_rows=240, k=5, seed=0
+        ),
+    )
+    print("\nFigure 4a — runtime (s) vs |Σ| (Census):")
+    print(experiment_table(experiment, "runtime"))
+    print("search effort (candidate evaluations):")
+    print(experiment_table(experiment, "candidates_tried"))
+
+    for strategy, points in experiment.series.items():
+        by_x = {p.x: p for p in points}
+        assert by_x[max(SIGMA_SIZES)].runtime > by_x[min(SIGMA_SIZES)].runtime, (
+            f"{strategy}: runtime should grow with |Σ|"
+        )
+
+
+def _adversarial_instance(seed: int):
+    """One rigid constraint (single clustering) vs permissive neighbours.
+
+    Tuples 0..3 carry the rigid value; every tuple carries one of the
+    permissive attributes' values, so permissive clusterings randomly eat
+    the rigid pool unless the rigid node is colored first.
+    """
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_names(qi=["RIGID", "P1", "P2", "P3", "NOISE"])
+    n = 40
+    rows = []
+    for i in range(n):
+        rows.append(
+            (
+                "hot" if i < 4 else "cold",
+                f"p1-{i % 2}",
+                f"p2-{i % 2}",
+                f"p3-{i % 2}",
+                f"n{rng.integers(0, 10)}",
+            )
+        )
+    relation = Relation(schema, rows)
+    constraints = ConstraintSet(
+        [
+            DiversityConstraint("RIGID", "hot", 4, 4),     # single choice
+            DiversityConstraint("P1", "p1-0", 4, 30),
+            DiversityConstraint("P2", "p2-0", 4, 30),
+            DiversityConstraint("P3", "p3-1", 4, 30),
+        ]
+    )
+    return relation, constraints
+
+
+def test_fig4a_basic_backtracks_most(once, benchmark):
+    def measure():
+        # The comparison isolates node/candidate *ordering* — the paper's
+        # Algorithm 4 over static candidate pools — so the dynamic
+        # residual-candidate refinement is disabled for all strategies.
+        efforts = {"basic": 0, "minchoice": 0, "maxfanout": 0}
+        for seed in range(8):
+            relation, constraints = _adversarial_instance(seed)
+            for strategy in efforts:
+                search = ColoringSearch(
+                    relation,
+                    constraints,
+                    k=2,
+                    strategy=strategy,
+                    rng=np.random.default_rng(seed),
+                )
+                search._dynamic_candidates = lambda index: []
+                result = search.run()
+                assert result.success, strategy
+                efforts[strategy] += search.stats.candidates_tried
+        return efforts
+
+    efforts = once(benchmark, measure)
+    print(f"\nFigure 4a mechanism — total candidate evaluations: {efforts}")
+    assert efforts["basic"] > efforts["minchoice"]
+    assert efforts["basic"] > efforts["maxfanout"]

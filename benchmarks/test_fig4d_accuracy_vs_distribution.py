@@ -1,0 +1,44 @@
+"""Figure 4d — accuracy vs data distribution (Pop-Syn).
+
+Paper mechanism: skewed (Zipfian) domains concentrate the constraints'
+target tuples on a few head values, so constraint clusters contend for the
+same tuples; uniform domains spread values evenly and avoid that contention
+("This conflict occurs more often in the Zipfian case than the Gaussian").
+
+At laptop scale we reproduce the *mechanism* directly — the measured
+conflict rate cf(Σ) orders Zipfian > Gaussian ≥ Uniform — and report the
+accuracy per distribution.  The paper's accuracy ordering (uniform best)
+does not transfer to our discernibility-based accuracy instantiation,
+because skewed data is intrinsically more compressible under suppression (a
+dataset-level effect their unspecified normalization apparently removes);
+EXPERIMENTS.md documents this divergence.
+"""
+
+from repro.bench import experiment_table, fig4d_vs_distribution
+
+
+def test_fig4d_contention_vs_distribution(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig4d_vs_distribution(
+            n_rows=400, n_constraints=6, k=5, seeds=(0, 1, 2)
+        ),
+    )
+    print("\nFigure 4d — accuracy vs distribution (Pop-Syn, seed-averaged):")
+    print(experiment_table(experiment, "accuracy"))
+    print("measured conflict rate cf(Σ) per distribution:")
+    print(experiment_table(experiment, "conflict_rate"))
+
+    series = next(iter(experiment.series.values()))
+    cf = {p.x: p.extras["conflict_rate"] for p in series}
+    # The contention mechanism: Zipfian concentrates target tuples.
+    assert cf["zipfian"] > cf["uniform"], cf
+    assert cf["zipfian"] > cf["gaussian"], cf
+
+    for strategy, points in experiment.series.items():
+        for point in points:
+            assert 0.0 <= point.accuracy <= 1.0
+        # The workloads stay satisfiable: few constraints dropped across
+        # 3 seeds × 3 distributions.
+        total_dropped = sum(p.extras["dropped"] for p in points)
+        assert total_dropped <= 4, (strategy, total_dropped)

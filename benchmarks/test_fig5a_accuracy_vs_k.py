@@ -1,0 +1,61 @@
+"""Figure 5a — accuracy vs k (German Credit).
+
+Paper shape: accuracy declines as k grows for every algorithm (bigger
+QI-groups are less discernible), and DIVA's accuracy is comparable to the
+plain k-anonymization baselines *while additionally satisfying Σ*.
+
+We assert the per-algorithm decline and that DIVA's best variant stays
+within a small margin of the best baseline at every k.
+"""
+
+from repro.bench import experiment_table, fig5ab_vs_k
+
+K_VALUES = (5, 10, 15)
+DIVA = ("minchoice", "maxfanout")
+BASELINES = ("k-member", "oka", "mondrian")
+
+
+def test_fig5a_accuracy_vs_k(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig5ab_vs_k(
+            k_values=K_VALUES, n_rows=600, n_constraints=6, seed=0
+        ),
+    )
+    print("\nFigure 5a — accuracy vs k (Credit):")
+    print(experiment_table(experiment, "accuracy"))
+
+    for algorithm, points in experiment.series.items():
+        by_x = {p.x: p for p in points}
+        assert by_x[max(K_VALUES)].accuracy < by_x[min(K_VALUES)].accuracy, (
+            f"{algorithm}: accuracy should decline with k"
+        )
+
+    for k in K_VALUES:
+        diva_best = max(
+            p.accuracy
+            for name in DIVA
+            for p in experiment.series[name]
+            if p.x == k
+        )
+        baseline_best = max(
+            p.accuracy
+            for name in BASELINES
+            for p in experiment.series[name]
+            if p.x == k
+        )
+        baseline_worst = min(
+            p.accuracy
+            for name in BASELINES
+            for p in experiment.series[name]
+            if p.x == k
+        )
+        # Comparable to the best baseline (diversity costs a little), and
+        # clearly better than the weakest baseline.
+        assert diva_best >= baseline_best - 0.12, (
+            f"k={k}: DIVA ({diva_best:.3f}) should be comparable to the "
+            f"best baseline ({baseline_best:.3f})"
+        )
+        assert diva_best > baseline_worst, (
+            f"k={k}: DIVA should beat the weakest baseline"
+        )

@@ -1,0 +1,48 @@
+"""Figure 5b — runtime vs k (German Credit).
+
+Paper shape: the DIVA variants (MinChoice, MaxFanOut) cost more time than
+the plain baselines — the price of computing a diverse instance — and DIVA's
+runtime does not explode with k (the paper even observes a mild decrease, as
+more aggressive suppression lets the coloring prune undersized clusterings).
+
+We assert DIVA > the cheapest baselines (k-member, mondrian) in runtime at
+every k, and that DIVA's runtime stays within a bounded factor across the
+k sweep (no blow-up in k).
+"""
+
+from repro.bench import experiment_table, fig5ab_vs_k
+
+K_VALUES = (5, 10, 15)
+DIVA = ("minchoice", "maxfanout")
+
+
+def test_fig5b_runtime_vs_k(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig5ab_vs_k(
+            k_values=K_VALUES, n_rows=600, n_constraints=6, seed=0
+        ),
+    )
+    print("\nFigure 5b — runtime (s) vs k (Credit):")
+    print(experiment_table(experiment, "runtime"))
+
+    for k in K_VALUES:
+        diva_min = min(
+            p.runtime for name in DIVA for p in experiment.series[name] if p.x == k
+        )
+        fast_baselines = min(
+            p.runtime
+            for name in ("k-member", "mondrian")
+            for p in experiment.series[name]
+            if p.x == k
+        )
+        assert diva_min > fast_baselines, (
+            f"k={k}: DIVA should cost more than the plain baselines "
+            "(the price of diversity)"
+        )
+
+    for name in DIVA:
+        times = [p.runtime for p in experiment.series[name]]
+        assert max(times) < 50 * min(times), (
+            f"{name}: runtime should not blow up across the k sweep"
+        )

@@ -1,0 +1,53 @@
+"""Figure 5c — accuracy vs |R| (Census).
+
+Paper shape: all algorithms are sensitive to |R|; DIVA's accuracy is
+comparable to (in the paper, better than) the baselines at every size while
+also satisfying Σ.  As new attribute values appear with more rows, cluster
+alignment degrades and accuracy drifts down for everyone.
+
+We assert per-size comparability of DIVA to the best baseline (within a
+margin: our accuracy instantiation charges DIVA's extra diversity
+suppression directly) and that DIVA clearly beats the weakest baseline.
+The paper's mild downward drift in |R| does not transfer to the
+log-normalized accuracy (bigger relations have more normalization headroom);
+EXPERIMENTS.md documents this metric-definition divergence.
+"""
+
+from repro.bench import experiment_table, fig5cd_vs_size
+
+SIZES = (300, 600, 900)
+DIVA = ("minchoice", "maxfanout")
+BASELINES = ("k-member", "oka", "mondrian")
+
+
+def test_fig5c_accuracy_vs_size(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig5cd_vs_size(sizes=SIZES, n_constraints=6, k=5, seed=0),
+    )
+    print("\nFigure 5c — accuracy vs |R| (Census):")
+    print(experiment_table(experiment, "accuracy"))
+
+    for n_rows in SIZES:
+        diva_best = max(
+            p.accuracy for name in DIVA for p in experiment.series[name]
+            if p.x == n_rows
+        )
+        baseline_best = max(
+            p.accuracy for name in BASELINES for p in experiment.series[name]
+            if p.x == n_rows
+        )
+        baseline_worst = min(
+            p.accuracy for name in BASELINES for p in experiment.series[name]
+            if p.x == n_rows
+        )
+        assert diva_best >= baseline_best - 0.12, (
+            f"|R|={n_rows}: DIVA ({diva_best:.3f}) should be comparable to "
+            f"the best baseline ({baseline_best:.3f})"
+        )
+        assert diva_best > baseline_worst, (
+            f"|R|={n_rows}: DIVA should beat the weakest baseline"
+        )
+    for points in experiment.series.values():
+        for point in points:
+            assert 0.0 <= point.accuracy <= 1.0

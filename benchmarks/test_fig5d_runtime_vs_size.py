@@ -1,0 +1,43 @@
+"""Figure 5d — runtime vs |R| (Census).
+
+Paper shape: every technique's runtime increases with |R| (more clusters to
+evaluate); DIVA additionally pays for conflict checking among clusterings.
+
+We assert monotone-ish growth (largest size slower than smallest) for every
+algorithm, and that DIVA remains more expensive than the cheapest baseline.
+"""
+
+from repro.bench import experiment_table, fig5cd_vs_size
+
+SIZES = (300, 600, 900)
+DIVA = ("minchoice", "maxfanout")
+
+
+def test_fig5d_runtime_vs_size(once, benchmark):
+    experiment = once(
+        benchmark,
+        lambda: fig5cd_vs_size(sizes=SIZES, n_constraints=6, k=5, seed=0),
+    )
+    print("\nFigure 5d — runtime (s) vs |R| (Census):")
+    print(experiment_table(experiment, "runtime"))
+
+    for algorithm, points in experiment.series.items():
+        by_x = {p.x: p for p in points}
+        assert by_x[max(SIZES)].runtime > by_x[min(SIZES)].runtime, (
+            f"{algorithm}: runtime should grow with |R|"
+        )
+
+    for n_rows in SIZES:
+        diva_min = min(
+            p.runtime for name in DIVA for p in experiment.series[name]
+            if p.x == n_rows
+        )
+        baseline_min = min(
+            p.runtime
+            for name in ("k-member", "mondrian")
+            for p in experiment.series[name]
+            if p.x == n_rows
+        )
+        assert diva_min > baseline_min, (
+            f"|R|={n_rows}: DIVA should cost more than the cheapest baseline"
+        )

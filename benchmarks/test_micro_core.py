@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the core primitives (performance regression guard).
+
+Not a paper artifact — these measure the hot operations (suppression,
+candidate enumeration, consistency-checked coloring, and the three baseline
+anonymizers) at a fixed size, with proper multi-round statistics, so a
+future change that regresses the core shows up as a benchmark delta.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import make_anonymizer
+from repro.core.clusterings import enumerate_clusterings
+from repro.core.coloring import ColoringSearch
+from repro.core.constraints import DiversityConstraint
+from repro.core.suppress import suppress
+from repro.data.datasets import make_popsyn
+from repro.workloads.constraint_gen import proportion_constraints
+
+N_ROWS = 300
+K = 5
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_popsyn(seed=30, n_rows=N_ROWS)
+
+
+@pytest.fixture(scope="module")
+def clusters(relation):
+    tids = list(relation.tids)
+    return [set(tids[i:i + K]) for i in range(0, N_ROWS, K)]
+
+
+def test_micro_suppress(benchmark, relation, clusters):
+    result = benchmark(suppress, relation, clusters)
+    assert len(result) == N_ROWS
+
+
+def test_micro_enumerate_clusterings(benchmark, relation):
+    value, count = relation.value_counts("ETH").most_common(1)[0]
+    sigma = DiversityConstraint("ETH", value, K, count)
+
+    def run():
+        return enumerate_clusterings(
+            relation, sigma, K, max_candidates=32,
+            rng=np.random.default_rng(0),
+        )
+
+    candidates = benchmark(run)
+    assert 0 < len(candidates) <= 32
+
+
+def test_micro_coloring(benchmark, relation):
+    constraints = proportion_constraints(relation, 6, k=K, seed=30)
+
+    def run():
+        search = ColoringSearch(
+            relation, constraints, K,
+            strategy="maxfanout", rng=np.random.default_rng(0),
+        )
+        return search.run()
+
+    result = benchmark(run)
+    assert result.success
+
+
+@pytest.mark.parametrize("algorithm", ["k-member", "oka", "mondrian"])
+def test_micro_anonymizers(benchmark, relation, algorithm):
+    def run():
+        anonymizer = make_anonymizer(algorithm, np.random.default_rng(0))
+        return anonymizer.anonymize(relation, K)
+
+    anonymized = benchmark(run)
+    assert len(anonymized) == N_ROWS

@@ -1,0 +1,34 @@
+"""Table 4 — dataset characteristics.
+
+Regenerates the |R| / n / |ΠQI(R)| / |Σ| grid for the four evaluation
+datasets.  Attribute counts match the paper exactly; row counts are the
+documented laptop-scale defaults, and the QI-projection cardinalities land
+in the same regime as the paper's (Credit tiny, the others large).
+"""
+
+from repro.bench import format_table, table4_characteristics
+
+
+def test_table4_characteristics(once, benchmark):
+    rows = once(benchmark, table4_characteristics)
+    print("\nTable 4 — data characteristics (laptop scale):")
+    print(format_table(rows))
+
+    by_name = {r["dataset"]: r for r in rows}
+    # Attribute counts are scale-free and must match the paper exactly.
+    assert by_name["pantheon"]["n"] == 17
+    assert by_name["census"]["n"] == 40
+    assert by_name["credit"]["n"] == 20
+    assert by_name["popsyn"]["n"] == 7
+    # Credit is exactly the paper's size; its QI projection is tiny
+    # (paper: 60) while every other dataset's is large.
+    assert by_name["credit"]["|R|"] == 1000
+    assert by_name["credit"]["|ΠQI(R)|"] < 300
+    for name in ("pantheon", "census", "popsyn"):
+        row = by_name[name]
+        assert row["|ΠQI(R)|"] > row["|R|"] * 0.1, name
+    # Σ sizes as in Table 4.
+    assert by_name["pantheon"]["|Σ|"] == 24
+    assert by_name["census"]["|Σ|"] == 21
+    assert by_name["credit"]["|Σ|"] == 18
+    assert by_name["popsyn"]["|Σ|"] == 10

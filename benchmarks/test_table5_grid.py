@@ -1,0 +1,41 @@
+"""Table 5 — parameter values.
+
+The sweep grid is data, not computation; this bench validates the encoded
+grid against the paper (defaults in bold there) and exercises one full
+default-configuration DIVA run so the defaults are known-good.
+"""
+
+from repro.bench import run_diva_point
+from repro.data.datasets import load_dataset
+from repro.workloads.constraint_gen import proportion_constraints
+from repro.workloads.sweeps import N_TRIALS, PARAM_DEFAULTS, PARAM_GRID, SCALE
+
+
+def test_table5_grid_matches_paper(once, benchmark):
+    def check():
+        # The grid divided by SCALE must reproduce the paper's numbers.
+        assert [v * SCALE for v in PARAM_GRID["n_rows"]] == [
+            60_000, 120_000, 180_000, 240_000, 300_000,
+        ]
+        assert PARAM_GRID["n_constraints"] == [4, 8, 12, 16, 20]
+        assert PARAM_GRID["conflict_rate"] == [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        assert PARAM_GRID["k"] == [10, 20, 30, 40, 50]
+        assert N_TRIALS == 5  # "average runtime over five executions"
+        for key, default in PARAM_DEFAULTS.items():
+            assert default in PARAM_GRID[key], key
+        # One run at the default configuration (scaled down further so the
+        # bench stays fast) must succeed end to end.
+        relation = load_dataset(
+            "census", seed=0, n_rows=PARAM_DEFAULTS["n_rows"] // 4
+        )
+        constraints = proportion_constraints(
+            relation, PARAM_DEFAULTS["n_constraints"], k=5, seed=0
+        )
+        return run_diva_point(relation, constraints, 5, "maxfanout")
+
+    point = once(benchmark, check)
+    print(
+        f"\nTable 5 defaults run: accuracy={point.accuracy:.3f} "
+        f"runtime={point.runtime:.2f}s dropped={point.extras['dropped']}"
+    )
+    assert 0.0 <= point.accuracy <= 1.0

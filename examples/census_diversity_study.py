@@ -1,0 +1,57 @@
+"""Strategy study on the Census dataset (mirrors Figures 4a/4b).
+
+Sweeps the number of diversity constraints |Σ| on a census-like relation and
+compares DIVA's three selection strategies on runtime, search effort and
+output accuracy — a miniature of the paper's Figure 4a/4b experiment you can
+run in under a minute.
+
+Run:
+
+    python examples/census_diversity_study.py
+"""
+
+import time
+
+from repro import Diva, accuracy, make_census, proportion_constraints
+
+K = 5
+N_ROWS = 300
+STRATEGIES = ("minchoice", "maxfanout", "basic")
+
+
+def main() -> None:
+    relation = make_census(seed=0, n_rows=N_ROWS)
+    print(f"Census relation: |R| = {len(relation)}, "
+          f"n = {len(relation.schema)} attributes, "
+          f"|ΠQI(R)| = {relation.distinct_projection_size()}")
+
+    header = f"{'|Σ|':>4} " + "".join(
+        f"{s:>34}" for s in STRATEGIES
+    )
+    print("\n" + header)
+    print(" " * 5 + "   time    accuracy  backtracks" * len(STRATEGIES))
+    for n_constraints in (4, 8, 12):
+        sigma = proportion_constraints(
+            relation, n_constraints, k=K, seed=n_constraints
+        )
+        cells = []
+        for strategy in STRATEGIES:
+            solver = Diva(strategy=strategy, best_effort=True, seed=0)
+            start = time.perf_counter()
+            result = solver.run(relation, sigma, K)
+            elapsed = time.perf_counter() - start
+            cells.append(
+                f"{elapsed:7.2f}s  {accuracy(result.relation, K):8.3f}  "
+                f"{result.stats.backtracks:10d}"
+            )
+        print(f"{n_constraints:>4} " + "".join(f"{c:>34}" for c in cells))
+
+    print(
+        "\nMinChoice and MaxFanOut order the search to prune early; "
+        "Basic's random ordering backtracks more as |Σ| grows "
+        "(the paper's Figure 4a blow-up)."
+    )
+
+
+if __name__ == "__main__":
+    main()

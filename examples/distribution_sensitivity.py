@@ -1,0 +1,44 @@
+"""Data-distribution sensitivity (mirrors Figure 4d).
+
+Generates the Pop-Syn population under Zipfian, uniform and Gaussian value
+distributions and measures DIVA's output accuracy for each — reproducing the
+paper's finding that uniform domains anonymize most accurately (values are
+spread evenly, so diverse clusters need little suppression) while Zipfian
+skew concentrates contention on a few tuples.
+
+Run:
+
+    python examples/distribution_sensitivity.py
+"""
+
+from repro import Diva, accuracy, make_popsyn, proportion_constraints, star_ratio
+
+K = 5
+N_ROWS = 500
+N_CONSTRAINTS = 8
+
+
+def main() -> None:
+    print(f"Pop-Syn, |R| = {N_ROWS}, |Σ| = {N_CONSTRAINTS}, k = {K}\n")
+    print(f"{'distribution':<12} {'accuracy':>9} {'stars':>8} {'dropped':>8}")
+    for distribution in ("zipfian", "uniform", "gaussian"):
+        relation = make_popsyn(
+            seed=7, n_rows=N_ROWS, distribution=distribution
+        )
+        sigma = proportion_constraints(relation, N_CONSTRAINTS, k=K, seed=7)
+        solver = Diva(strategy="maxfanout", best_effort=True, seed=0)
+        result = solver.run(relation, sigma, K)
+        print(
+            f"{distribution:<12} {accuracy(result.relation, K):>9.3f} "
+            f"{star_ratio(result.relation):>8.1%} {len(result.dropped):>8}"
+        )
+
+    print(
+        "\nUniform domains spread characteristic values evenly across "
+        "tuples, avoiding contention among constraint clusters; Zipfian "
+        "skew concentrates target tuples and forces costlier clusterings."
+    )
+
+
+if __name__ == "__main__":
+    main()

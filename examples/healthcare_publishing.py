@@ -1,0 +1,79 @@
+"""Diverse publication of medical records (the paper's motivating scenario).
+
+A hospital wants to share an anonymized extract of patient records with a
+pharmaceutical partner.  Plain k-anonymization (Table 2 of the paper) wipes
+out the African and Caucasian ethnicities from one group and the Female
+gender from another — the published extract misrepresents the patient
+population.  This example quantifies that loss on a synthetic population and
+shows how DIVA guarantees minority representation at a modest accuracy cost.
+
+Run:
+
+    python examples/healthcare_publishing.py
+"""
+
+from repro import (
+    ConstraintSet,
+    DiversityConstraint,
+    KMemberAnonymizer,
+    accuracy,
+    check_diversity,
+    is_k_anonymous,
+    make_popsyn,
+    run_diva,
+    star_ratio,
+)
+
+K = 5
+
+
+def minority_constraints(relation) -> ConstraintSet:
+    """Require every ethnicity to keep at least half its representation."""
+    constraints = []
+    for value, count in sorted(relation.value_counts("ETH").items()):
+        lower = max(K, count // 2)
+        constraints.append(DiversityConstraint("ETH", value, lower, count))
+    return ConstraintSet(constraints)
+
+
+def report(title, relation, k, sigma) -> None:
+    verdicts = check_diversity(relation, sigma)
+    satisfied = sum(1 for v in verdicts if v.satisfied)
+    print(f"\n{title}")
+    print(f"  k-anonymous (k={k}):    {is_k_anonymous(relation, k)}")
+    print(f"  accuracy:               {accuracy(relation, k):.3f}")
+    print(f"  suppressed QI cells:    {star_ratio(relation):.1%}")
+    print(f"  diversity constraints:  {satisfied}/{len(verdicts)} satisfied")
+    for verdict in verdicts:
+        marker = "✓" if verdict.satisfied else "✗"
+        print(
+            f"    {marker} {verdict.constraint!r}: count {verdict.count}"
+        )
+
+
+def main() -> None:
+    # A synthetic patient population (Pop-Syn, zipfian skew: ethnic
+    # minorities are genuinely rare, as in the paper's motivation).
+    patients = make_popsyn(seed=42, n_rows=400, distribution="zipfian")
+    sigma = minority_constraints(patients)
+    print(f"Patient relation: {patients}")
+    print(f"Ethnicity distribution: {dict(patients.value_counts('ETH'))}")
+
+    # Plain k-member anonymization: no diversity guarantees.
+    plain = KMemberAnonymizer().anonymize(patients, K)
+    report("Plain k-member anonymization", plain, K, sigma)
+
+    # DIVA: same privacy level, diversity guaranteed.
+    result = run_diva(patients, sigma, K, best_effort=True)
+    report("DIVA (MaxFanOut)", result.relation, K, sigma)
+    if result.dropped:
+        print(f"  (dropped as unsatisfiable: {list(result.dropped)})")
+
+    print(
+        "\nDIVA preserves every ethnicity's minimum representation; the "
+        "plain baseline loses whichever groups its clusters happened to mix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; offline
+boxes that lack it can fall back to ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

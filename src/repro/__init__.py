@@ -1,0 +1,141 @@
+"""repro — reproduction of "Preserving Diversity in Anonymized Data" (EDBT 2021).
+
+The library implements DIVA, a diversity-preserving k-anonymization
+algorithm, together with every substrate the paper's evaluation depends on:
+a relational data layer, three baseline k-anonymizers (k-member, OKA,
+Mondrian), diversity-constraint workload generators, and the metrics the
+paper reports (discernibility-based accuracy, star-count information loss,
+conflict rate).
+
+Quickstart::
+
+    from repro import (
+        ConstraintSet, DiversityConstraint, make_running_example, run_diva,
+    )
+
+    relation = make_running_example()           # Table 1 of the paper
+    sigma = ConstraintSet([
+        DiversityConstraint("ETH", "Asian", 2, 5),
+        DiversityConstraint("ETH", "African", 1, 3),
+        DiversityConstraint("CTY", "Vancouver", 2, 4),
+    ])
+    result = run_diva(relation, sigma, k=2)
+    assert sigma.is_satisfied_by(result.relation)
+"""
+
+from .anonymize import (
+    ANONYMIZERS,
+    Anonymizer,
+    KMemberAnonymizer,
+    MondrianAnonymizer,
+    OKAAnonymizer,
+    make_anonymizer,
+)
+from .core import (
+    ColoringResult,
+    ConstraintSet,
+    Diva,
+    DivaResult,
+    DiversityConstraint,
+    KSigmaProblem,
+    UnsatisfiableError,
+    build_graph,
+    component_coloring,
+    diverse_clustering,
+    run_diva,
+    suppress,
+)
+from .data import (
+    STAR,
+    Attribute,
+    AttributeKind,
+    Relation,
+    Schema,
+    load_dataset,
+    load_relation,
+    make_census,
+    make_credit,
+    make_pantheon,
+    make_popsyn,
+    make_running_example,
+    save_relation,
+)
+from .metrics import (
+    accuracy,
+    check_diversity,
+    conflict_rate,
+    discernibility,
+    is_k_anonymous,
+    star_count,
+    star_ratio,
+)
+from .privacy import (
+    check_k_anonymity,
+    check_l_diversity,
+    check_t_closeness,
+    check_xy_anonymity,
+)
+from .workloads import (
+    average_constraints,
+    conflicted_constraints,
+    min_frequency_constraints,
+    proportion_constraints,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data
+    "STAR",
+    "Attribute",
+    "AttributeKind",
+    "Relation",
+    "Schema",
+    "load_dataset",
+    "load_relation",
+    "save_relation",
+    "make_census",
+    "make_credit",
+    "make_pantheon",
+    "make_popsyn",
+    "make_running_example",
+    # core
+    "DiversityConstraint",
+    "ConstraintSet",
+    "KSigmaProblem",
+    "Diva",
+    "DivaResult",
+    "run_diva",
+    "diverse_clustering",
+    "component_coloring",
+    "build_graph",
+    "suppress",
+    "ColoringResult",
+    "UnsatisfiableError",
+    # anonymizers
+    "Anonymizer",
+    "KMemberAnonymizer",
+    "OKAAnonymizer",
+    "MondrianAnonymizer",
+    "ANONYMIZERS",
+    "make_anonymizer",
+    # metrics
+    "accuracy",
+    "discernibility",
+    "star_count",
+    "star_ratio",
+    "conflict_rate",
+    "check_diversity",
+    "is_k_anonymous",
+    # privacy
+    "check_k_anonymity",
+    "check_l_diversity",
+    "check_t_closeness",
+    "check_xy_anonymity",
+    # workloads
+    "proportion_constraints",
+    "min_frequency_constraints",
+    "average_constraints",
+    "conflicted_constraints",
+]

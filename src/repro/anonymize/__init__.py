@@ -1,0 +1,43 @@
+"""Baseline suppression-based k-anonymization algorithms."""
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Anonymizer
+from .encoding import QIEncoder
+from .kmember import KMemberAnonymizer
+from .ldiverse import LDiverseKMemberAnonymizer
+from .mondrian import MondrianAnonymizer
+from .oka import OKAAnonymizer
+
+ANONYMIZERS: dict[str, type[Anonymizer]] = {
+    KMemberAnonymizer.name: KMemberAnonymizer,
+    OKAAnonymizer.name: OKAAnonymizer,
+    MondrianAnonymizer.name: MondrianAnonymizer,
+    LDiverseKMemberAnonymizer.name: LDiverseKMemberAnonymizer,
+}
+
+
+def make_anonymizer(
+    name: str, rng: Optional[np.random.Generator] = None
+) -> Anonymizer:
+    """Instantiate an anonymizer by name (see ``ANONYMIZERS`` for the list)."""
+    try:
+        cls = ANONYMIZERS[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(ANONYMIZERS))
+        raise ValueError(f"unknown anonymizer {name!r}; expected one of {valid}")
+    return cls(rng=rng)
+
+
+__all__ = [
+    "Anonymizer",
+    "QIEncoder",
+    "KMemberAnonymizer",
+    "LDiverseKMemberAnonymizer",
+    "OKAAnonymizer",
+    "MondrianAnonymizer",
+    "ANONYMIZERS",
+    "make_anonymizer",
+]

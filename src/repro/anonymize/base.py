@@ -1,0 +1,72 @@
+"""Common interface for k-anonymization algorithms.
+
+Every anonymizer is a clustering algorithm: it partitions the relation's
+tuples into clusters of size ≥ k, and the shared suppression step
+(``repro.core.suppress``) turns each cluster into a QI-group.  This is the
+"amenable to any anonymization algorithm" plug-in point of DIVA's Anonymize
+phase (Figure 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import AnonymizationError
+from ..core.suppress import suppress
+from ..data.relation import Relation
+
+
+class Anonymizer(abc.ABC):
+    """A suppression-based k-anonymization algorithm."""
+
+    name: str = "abstract"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @abc.abstractmethod
+    def cluster(self, relation: Relation, k: int) -> list[set[int]]:
+        """Partition all tuples of ``relation`` into clusters of size ≥ k.
+
+        Must cover every tuple exactly once.  Raises
+        :class:`AnonymizationError` when ``len(relation) < k`` (no valid
+        partition exists) — except for the empty relation, which yields the
+        empty clustering.
+        """
+
+    def anonymize(self, relation: Relation, k: int) -> Relation:
+        """Produce the k-anonymous relation (cluster, then suppress)."""
+        if len(relation) == 0:
+            return relation
+        clusters = self.cluster(relation, k)
+        self.validate_clusters(relation, clusters, k)
+        return suppress(relation, clusters)
+
+    @staticmethod
+    def validate_clusters(
+        relation: Relation, clusters: list[set[int]], k: int
+    ) -> None:
+        """Assert the clustering is a ≥k-block partition of the relation."""
+        covered: set[int] = set()
+        for cluster in clusters:
+            if len(cluster) < k:
+                raise AnonymizationError(
+                    f"cluster of size {len(cluster)} violates k={k}"
+                )
+            if covered & cluster:
+                raise AnonymizationError("clusters overlap")
+            covered |= cluster
+        if covered != set(relation.tids):
+            raise AnonymizationError("clustering does not cover the relation")
+
+    def _require_enough_tuples(self, relation: Relation, k: int) -> None:
+        if len(relation) < k:
+            raise AnonymizationError(
+                f"cannot {k}-anonymize a relation of {len(relation)} tuples"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,160 @@
+"""l-diversity-aware k-member clustering (paper §5 extension hook).
+
+The paper notes DIVA "is extensible to re-define the clustering criteria
+according to these privacy semantics" (l-diversity, t-closeness, ...).
+This module provides that redefined criterion for distinct l-diversity:
+a greedy k-member variant whose clusters must also contain at least ``l``
+distinct sensitive values, so every QI-group of the output resists
+homogeneity attacks.
+
+Plugging it into DIVA's Anonymize phase (``Diva(anonymizer=...)``) yields a
+published instance that is simultaneously k-anonymous, l-diverse on the
+remainder, and Σ-diverse.  Note the *diversity-constraint* clusters of the
+DiverseClustering phase are chosen by the coloring search, not by this
+anonymizer; use ``repro.privacy.check_l_diversity`` to verify the whole
+output when end-to-end l-diversity is required.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import AnonymizationError
+from ..data.relation import Relation
+from .base import Anonymizer
+from .encoding import QIEncoder
+
+
+class LDiverseKMemberAnonymizer(Anonymizer):
+    """Greedy k-member clustering with a distinct-l sensitive-value floor.
+
+    Cluster growth prefers records that minimize suppression cost, but while
+    a cluster has fewer than ``l`` distinct sensitive values, candidates
+    carrying an unseen sensitive value are considered first.  Leftover
+    records join the cluster whose sensitive diversity they help most.
+    """
+
+    name = "l-diverse-k-member"
+
+    def __init__(
+        self,
+        l: int = 2,
+        sensitive_attr: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(rng)
+        if l < 1:
+            raise ValueError("l must be at least 1")
+        self.l = l
+        self.sensitive_attr = sensitive_attr
+
+    def cluster(self, relation: Relation, k: int) -> list[set[int]]:
+        if self.l > k:
+            raise AnonymizationError(
+                f"l={self.l} exceeds k={k}: a k-cluster cannot hold l "
+                "distinct sensitive values"
+            )
+        self._require_enough_tuples(relation, k)
+        attr = self._resolve_sensitive(relation)
+        pos = relation.schema.position(attr)
+        sensitive = {tid: relation.row(tid)[pos] for tid, _ in relation}
+        if len(set(sensitive.values())) < self.l:
+            raise AnonymizationError(
+                f"relation has fewer than l={self.l} distinct values of "
+                f"{attr}; no l-diverse clustering exists"
+            )
+        enc = QIEncoder(relation)
+        matrix = enc.matrix
+        n = len(enc)
+        remaining = np.ones(n, dtype=bool)
+        clusters_rows: list[list[int]] = []
+
+        current = int(self.rng.integers(0, n))
+        while remaining.sum() >= k and self._l_feasible(
+            enc, sensitive, remaining
+        ):
+            candidates = np.flatnonzero(remaining)
+            dists = enc.distances_to(current, candidates)
+            seed = int(candidates[np.argmax(dists)])
+            remaining[seed] = False
+            members = [seed]
+            values = {sensitive[int(enc.tids[seed])]}
+            uniform = matrix[seed].copy()
+            broken = np.zeros(matrix.shape[1], dtype=bool)
+            while len(members) < k:
+                candidates = np.flatnonzero(remaining)
+                diffs = matrix[candidates][:, ~broken] != uniform[~broken]
+                costs = diffs.sum(axis=1).astype(float)
+                slots_left = k - len(members)
+                need_new = max(0, self.l - len(values))
+                if need_new >= slots_left:
+                    # Must take an unseen sensitive value now or the
+                    # cluster can no longer reach l distinct values.
+                    fresh = np.array(
+                        [
+                            sensitive[int(enc.tids[c])] not in values
+                            for c in candidates
+                        ]
+                    )
+                    if not fresh.any():
+                        break  # cannot complete this cluster l-diversely
+                    costs[~fresh] = np.inf
+                best = int(candidates[np.argmin(costs)])
+                newly_broken = (matrix[best] != uniform) & ~broken
+                broken |= newly_broken
+                members.append(best)
+                values.add(sensitive[int(enc.tids[best])])
+                remaining[best] = False
+            if len(members) < k or len(values) < self.l:
+                # Roll back an incompletable cluster and stop opening new
+                # ones; the leftovers are distributed below.
+                for row in members:
+                    remaining[row] = True
+                break
+            clusters_rows.append(members)
+            current = seed
+
+        if not clusters_rows:
+            raise AnonymizationError(
+                "could not form any k-sized, l-diverse cluster"
+            )
+        # Distribute leftovers: prefer the cluster where the record's
+        # sensitive value is rarest (maximizing balance), cost second.
+        for row in np.flatnonzero(remaining):
+            value = sensitive[int(enc.tids[row])]
+            best_cluster, best_key = None, None
+            for cluster in clusters_rows:
+                block = matrix[cluster]
+                uniform_mask = (block == block[0]).all(axis=0)
+                cost = int(((matrix[row] != block[0]) & uniform_mask).sum())
+                occurrences = sum(
+                    1 for r in cluster if sensitive[int(enc.tids[r])] == value
+                )
+                key = (occurrences, cost)
+                if best_key is None or key < best_key:
+                    best_cluster, best_key = cluster, key
+            best_cluster.append(int(row))
+
+        tids = enc.tids
+        return [set(int(tids[r]) for r in rows) for rows in clusters_rows]
+
+    def _resolve_sensitive(self, relation: Relation) -> str:
+        if self.sensitive_attr is not None:
+            relation.schema.validate_names([self.sensitive_attr])
+            return self.sensitive_attr
+        names = relation.schema.sensitive_names
+        if len(names) != 1:
+            raise AnonymizationError(
+                f"relation has {len(names)} sensitive attributes; pass "
+                "sensitive_attr explicitly"
+            )
+        return names[0]
+
+    def _l_feasible(self, enc, sensitive, remaining) -> bool:
+        """Can another l-diverse cluster still be formed from the remainder?"""
+        values = {
+            sensitive[int(enc.tids[r])] for r in np.flatnonzero(remaining)
+        }
+        return len(values) >= self.l

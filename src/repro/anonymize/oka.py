@@ -1,0 +1,159 @@
+"""OKA: one-pass k-means for k-anonymization (Lin & Wei — PAIS 2008).
+
+Two stages, as in the original paper:
+
+1. **One-pass k-means.**  Seed ``⌊n/k⌋`` cluster centroids from randomly
+   chosen records, then assign every record to its nearest centroid in a
+   single pass, updating the centroid incrementally (the "one pass" that
+   distinguishes OKA from full k-means).
+2. **Balancing.**  Clusters larger than k hand their records furthest from
+   the centroid to the nearest cluster still below k; clusters that remain
+   below k absorb the nearest surplus records.  The result is a partition
+   where every cluster has at least k members.
+
+Centroids live in the encoded QI space (categorical codes / normalized
+numerics); for categorical columns the centroid component is the cluster
+mode, for numeric ones the mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.relation import Relation
+from .base import Anonymizer
+from .encoding import QIEncoder
+
+
+class OKAAnonymizer(Anonymizer):
+    """One-pass k-means clustering followed by ≥k balancing."""
+
+    name = "oka"
+
+    def cluster(self, relation: Relation, k: int) -> list[set[int]]:
+        self._require_enough_tuples(relation, k)
+        enc = QIEncoder(relation)
+        matrix, numeric = enc.matrix, enc.is_numeric
+        n = len(enc)
+        n_clusters = max(1, n // k)
+        seeds = self.rng.choice(n, size=n_clusters, replace=False)
+        centroids = matrix[seeds].copy()
+        members: list[list[int]] = [[int(s)] for s in seeds]
+        assigned = np.zeros(n, dtype=bool)
+        assigned[seeds] = True
+
+        order = self.rng.permutation(n)
+        for row in order:
+            if assigned[row]:
+                continue
+            costs = self._distances_to_centroids(matrix[row], centroids, numeric)
+            target = int(np.argmin(costs))
+            members[target].append(int(row))
+            centroids[target] = self._update_centroid(
+                matrix, members[target], numeric
+            )
+            assigned[row] = True
+
+        self._balance(matrix, numeric, members, centroids, k)
+        tids = enc.tids
+        return [set(int(tids[r]) for r in rows) for rows in members if rows]
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _distances_to_centroids(
+        row: np.ndarray, centroids: np.ndarray, numeric: np.ndarray
+    ) -> np.ndarray:
+        """Mixed distance from one encoded row to every centroid."""
+        diffs = np.abs(centroids - row)
+        out = diffs[:, numeric].sum(axis=1)
+        out += (diffs[:, ~numeric] > 1e-9).sum(axis=1)
+        return out
+
+    @staticmethod
+    def _update_centroid(
+        matrix: np.ndarray, rows: list[int], numeric: np.ndarray
+    ) -> np.ndarray:
+        """Mean for numeric columns, mode for categorical columns."""
+        block = matrix[rows]
+        centroid = np.empty(matrix.shape[1])
+        for j in range(matrix.shape[1]):
+            col = block[:, j]
+            if numeric[j]:
+                centroid[j] = col.mean()
+            else:
+                values, counts = np.unique(col, return_counts=True)
+                centroid[j] = values[np.argmax(counts)]
+        return centroid
+
+    def _balance(
+        self,
+        matrix: np.ndarray,
+        numeric: np.ndarray,
+        members: list[list[int]],
+        centroids: np.ndarray,
+        k: int,
+    ) -> None:
+        """Move records from over-full to under-full clusters until all ≥ k."""
+        def deficits() -> list[int]:
+            return [i for i, m in enumerate(members) if 0 < len(m) < k]
+
+        guard = 0
+        while deficits():
+            guard += 1
+            if guard > 10_000:
+                # Fall back: merge every deficient cluster into its nearest
+                # healthy neighbour (guaranteed to terminate).
+                self._merge_deficient(matrix, numeric, members, centroids, k)
+                return
+            needy = deficits()[0]
+            donors = [
+                i for i, m in enumerate(members) if len(m) > k and i != needy
+            ]
+            if not donors:
+                self._merge_deficient(matrix, numeric, members, centroids, k)
+                return
+            # Take, from the donor nearest to the needy centroid, the record
+            # closest to the needy centroid.
+            needy_centroid = centroids[needy]
+            best = None  # (distance, donor, position)
+            for donor in donors:
+                rows = np.asarray(members[donor])
+                diffs = np.abs(matrix[rows] - needy_centroid)
+                costs = diffs[:, numeric].sum(axis=1)
+                costs += (diffs[:, ~numeric] > 1e-9).sum(axis=1)
+                pos = int(np.argmin(costs))
+                if best is None or costs[pos] < best[0]:
+                    best = (float(costs[pos]), donor, pos)
+            _, donor, pos = best
+            moved = members[donor].pop(pos)
+            members[needy].append(moved)
+            centroids[needy] = self._update_centroid(matrix, members[needy], numeric)
+            centroids[donor] = self._update_centroid(matrix, members[donor], numeric)
+
+    def _merge_deficient(
+        self,
+        matrix: np.ndarray,
+        numeric: np.ndarray,
+        members: list[list[int]],
+        centroids: np.ndarray,
+        k: int,
+    ) -> None:
+        """Merge each still-deficient cluster into its nearest other cluster."""
+        for i in range(len(members)):
+            while 0 < len(members[i]) < k:
+                others = [
+                    j for j in range(len(members)) if j != i and members[j]
+                ]
+                if not others:
+                    return
+                dists = [
+                    self._distances_to_centroids(
+                        centroids[i], centroids[j][None, :], numeric
+                    )[0]
+                    for j in others
+                ]
+                j = others[int(np.argmin(dists))]
+                members[j].extend(members[i])
+                members[i] = []
+                centroids[j] = self._update_centroid(matrix, members[j], numeric)

@@ -1,0 +1,35 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from .harness import (
+    COMPARISON_ALGORITHMS,
+    DIVA_STRATEGIES,
+    Experiment,
+    SeriesPoint,
+    fig4ab_vs_nconstraints,
+    fig4c_vs_conflict,
+    fig4d_vs_distribution,
+    fig5ab_vs_k,
+    fig5cd_vs_size,
+    run_baseline_point,
+    run_diva_point,
+    table4_characteristics,
+)
+from .reporting import experiment_table, experiment_to_csv, format_table
+
+__all__ = [
+    "Experiment",
+    "SeriesPoint",
+    "DIVA_STRATEGIES",
+    "COMPARISON_ALGORITHMS",
+    "run_diva_point",
+    "run_baseline_point",
+    "fig4ab_vs_nconstraints",
+    "fig4c_vs_conflict",
+    "fig4d_vs_distribution",
+    "fig5ab_vs_k",
+    "fig5cd_vs_size",
+    "table4_characteristics",
+    "experiment_table",
+    "experiment_to_csv",
+    "format_table",
+]

@@ -1,0 +1,204 @@
+"""Ablation experiments for DIVA's design choices (beyond the paper's plots).
+
+DESIGN.md calls out three load-bearing design decisions; each gets an
+ablation so their contribution is measurable:
+
+* **Candidate cap** (``max_candidates``): the paper's polynomiality knob.
+  Sweep it and watch the success-rate/runtime trade-off.
+* **Dynamic residual candidates**: our implementation of the paper's
+  "update the candidate clusterings for their neighbors" refinement.
+  Disable to quantify how many instances only solve because of it.
+* **Constraint class**: the paper ran proportion constraints after finding
+  average constraints too sensitive — reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..core.coloring import ColoringSearch, SearchBudgetExceeded
+from ..core.diva import Diva
+from ..data.datasets import load_dataset
+from ..metrics.accuracy_utils import measure_output
+from ..workloads.constraint_gen import (
+    average_constraints,
+    min_frequency_constraints,
+    proportion_constraints,
+)
+from .harness import Experiment, SeriesPoint
+
+
+def ablation_candidate_cap(
+    caps=(4, 16, 64, 256),
+    dataset: str = "census",
+    n_rows: int = 300,
+    n_constraints: int = 8,
+    k: int = 5,
+    seed: int = 0,
+) -> Experiment:
+    """Sweep ``max_candidates``: success rate and effort per cap."""
+    relation = load_dataset(dataset, seed=seed, n_rows=n_rows)
+    constraints = proportion_constraints(relation, n_constraints, k=k, seed=seed)
+    experiment = Experiment(figure="ablation-cap")
+    for cap in caps:
+        start = time.perf_counter()
+        solver = Diva(
+            strategy="maxfanout", best_effort=True, max_candidates=cap, seed=seed
+        )
+        result = solver.run(relation, constraints, k)
+        elapsed = time.perf_counter() - start
+        metrics = measure_output(result.relation, k)
+        experiment.add(
+            "maxfanout",
+            SeriesPoint(
+                x=cap,
+                runtime=elapsed,
+                accuracy=metrics["accuracy"],
+                extras={
+                    "dropped": len(result.dropped),
+                    "candidates_tried": result.stats.candidates_tried,
+                },
+            ),
+        )
+    return experiment
+
+
+def ablation_dynamic_candidates(
+    dataset: str = "popsyn",
+    n_rows: int = 400,
+    k: int = 5,
+    seed: int = 0,
+    max_steps: Optional[int] = 50_000,
+) -> dict:
+    """Compare the coloring with and without dynamic residual candidates.
+
+    The instance is the nested-constraint pattern that motivates the
+    refinement: a parent constraint on ``ETH[v]`` demanding most of its
+    tuples, plus two child constraints on ``(GEN, ETH)`` subsets of the same
+    pool.  Static candidate pools are enumerated independently, so the
+    parent's clusters almost surely straddle the children's; dynamic
+    residual candidates size the parent's clusters to its *remaining*
+    shortfall over *uncovered* tuples, which makes the combination solvable.
+    The "static" variant monkey-patches the dynamic generator off — it is
+    the paper's plain Algorithm 4 over the static candidate pools.
+    """
+    from ..core.constraints import ConstraintSet, DiversityConstraint
+
+    relation = load_dataset(dataset, seed=seed, n_rows=n_rows)
+    eth_value, eth_count = relation.value_counts("ETH").most_common(1)[0]
+    nested = []
+    for gen_value in ("Female", "Male"):
+        tids = relation.matching_tids(("GEN", "ETH"), (gen_value, eth_value))
+        lower = max(k, int(0.6 * len(tids)))
+        nested.append(
+            DiversityConstraint(
+                ("GEN", "ETH"), (gen_value, eth_value), lower, len(tids)
+            )
+        )
+    constraints = ConstraintSet(
+        [DiversityConstraint("ETH", eth_value, int(0.8 * eth_count), eth_count)]
+        + nested
+    )
+
+    def run(dynamic: bool) -> dict:
+        search = ColoringSearch(
+            relation, constraints, k, strategy="maxfanout", max_steps=max_steps
+        )
+        if not dynamic:
+            search._dynamic_candidates = lambda index: []
+        start = time.perf_counter()
+        try:
+            result = search.run()
+            success = result.success
+        except SearchBudgetExceeded:
+            success = False
+        return {
+            "success": success,
+            "seconds": time.perf_counter() - start,
+            "candidates_tried": search.stats.candidates_tried,
+            "backtracks": search.stats.backtracks,
+        }
+
+    return {"dynamic": run(True), "static": run(False)}
+
+
+def ablation_refinement(
+    dataset: str = "popsyn",
+    n_rows: int = 300,
+    n_constraints: int = 4,
+    k: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Measure the suppression-minimality polish (``core.refine``).
+
+    Runs DIVA, applies the local-search refinement to the Anonymize-phase
+    clusters, and reports stars before/after plus the accuracy change.
+    """
+    from ..core.refine import refine_result
+    from ..metrics.discernibility import accuracy
+
+    relation = load_dataset(dataset, seed=seed, n_rows=n_rows)
+    constraints = proportion_constraints(
+        relation, n_constraints, k=k, lower_cap=2 * k, seed=seed
+    )
+    solver = Diva(strategy="maxfanout", best_effort=True, seed=seed)
+    result = solver.run(relation, constraints, k)
+    start = time.perf_counter()
+    refined, saved = refine_result(result, relation, k)
+    elapsed = time.perf_counter() - start
+    return {
+        "stars_before": result.relation.star_count(),
+        "stars_after": refined.star_count(),
+        "stars_saved": saved,
+        "accuracy_before": accuracy(result.relation, k),
+        "accuracy_after": accuracy(refined, k),
+        "seconds": elapsed,
+    }
+
+
+def ablation_constraint_class(
+    dataset: str = "popsyn",
+    n_rows: int = 400,
+    n_constraints: int = 6,
+    k: int = 5,
+    seed: int = 0,
+) -> Experiment:
+    """Compare the three constraint classes (paper Section 4 setup).
+
+    The paper chose proportion constraints because average constraints were
+    too sensitive; this ablation reports satisfaction/accuracy per class.
+    """
+    relation = load_dataset(dataset, seed=seed, n_rows=n_rows)
+    generators = {
+        "proportion": lambda: proportion_constraints(
+            relation, n_constraints, k=k, seed=seed
+        ),
+        "min_frequency": lambda: min_frequency_constraints(
+            relation, n_constraints, k=k, seed=seed
+        ),
+        "average": lambda: average_constraints(
+            relation, n_constraints, k=k, seed=seed
+        ),
+    }
+    experiment = Experiment(figure="ablation-class")
+    for name, make in generators.items():
+        constraints = make()
+        start = time.perf_counter()
+        solver = Diva(strategy="maxfanout", best_effort=True, seed=seed)
+        result = solver.run(relation, constraints, k)
+        elapsed = time.perf_counter() - start
+        metrics = measure_output(result.relation, k)
+        experiment.add(
+            name,
+            SeriesPoint(
+                x=name,
+                runtime=elapsed,
+                accuracy=metrics["accuracy"],
+                extras={
+                    "dropped": len(result.dropped),
+                    "satisfied": len(result.satisfied),
+                },
+            ),
+        )
+    return experiment

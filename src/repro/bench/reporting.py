@@ -1,0 +1,97 @@
+"""Rendering experiment results as the paper's rows and series.
+
+ASCII tables for terminals and CSV writers for downstream plotting.  The
+formats mirror the paper's artifacts: Figure experiments render one row per
+x value with one column per algorithm series; Table 4 renders the dataset
+characteristics grid.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .harness import Experiment
+
+PathLike = Union[str, Path]
+
+
+def format_table(rows: list[dict], columns: list[str] = None) -> str:
+    """Plain ASCII table from a list of dict rows."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells)) for i, c in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(str(c).ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def experiment_table(
+    experiment: Experiment, metric: str = "accuracy"
+) -> str:
+    """Render an experiment as x-by-series grid of one metric.
+
+    ``metric`` is ``accuracy``, ``runtime`` or any key in point extras.
+    """
+    series_names = list(experiment.series)
+    xs = []
+    for points in experiment.series.values():
+        for point in points:
+            if point.x not in xs:
+                xs.append(point.x)
+    rows = []
+    for x in xs:
+        row = {"x": x}
+        for name in series_names:
+            value = _lookup(experiment, name, x, metric)
+            row[name] = value if value is not None else ""
+        rows.append(row)
+    return format_table(rows, ["x"] + series_names)
+
+
+def experiment_to_csv(
+    experiment: Experiment, path: PathLike
+) -> None:
+    """Write every point of every series as long-format CSV."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["figure", "series", "x", "runtime", "accuracy", "extras"])
+        for name, points in experiment.series.items():
+            for point in points:
+                writer.writerow(
+                    [
+                        experiment.figure,
+                        name,
+                        point.x,
+                        f"{point.runtime:.6f}",
+                        f"{point.accuracy:.6f}",
+                        repr(point.extras),
+                    ]
+                )
+
+
+def _lookup(experiment: Experiment, series: str, x, metric: str):
+    for point in experiment.series.get(series, []):
+        if point.x == x:
+            if metric == "accuracy":
+                return point.accuracy
+            if metric == "runtime":
+                return point.runtime
+            return point.extras.get(metric)
+    return None
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``anonymize`` — run DIVA on a CSV relation and write the published CSV.
+* ``check`` — validate an anonymized CSV against k and a constraint file.
+* ``dataset`` — generate one of the evaluation datasets as CSV.
+* ``bench`` — regenerate one paper artifact and print its series.
+
+Constraint files are plain text, one constraint per line in the paper's
+notation (``ETH[Asian], 2, 5``); blank lines and ``#`` comments allowed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.constraints import ConstraintSet, DiversityConstraint
+from .core.diva import Diva
+from .core.problem import KSigmaProblem
+from .data.datasets import DATASETS, load_dataset
+from .data.loaders import load_relation, save_relation
+from .metrics.accuracy_utils import measure_output
+from .metrics.diversity_check import check_diversity
+from .metrics.stats import is_k_anonymous
+
+
+def load_constraint_file(path: str | Path) -> ConstraintSet:
+    """Parse a constraints file (one ``A[a], lo, hi`` per line)."""
+    constraints = []
+    with open(path) as f:
+        for line_no, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                constraints.append(DiversityConstraint.parse(line))
+            except Exception as exc:
+                raise SystemExit(
+                    f"{path}:{line_no}: cannot parse constraint: {exc}"
+                )
+    return ConstraintSet(constraints)
+
+
+def cmd_anonymize(args: argparse.Namespace) -> int:
+    relation = load_relation(args.input)
+    constraints = (
+        load_constraint_file(args.constraints)
+        if args.constraints
+        else ConstraintSet()
+    )
+    solver = Diva(
+        strategy=args.strategy,
+        anonymizer=args.anonymizer,
+        best_effort=args.best_effort,
+        seed=args.seed,
+    )
+    result = solver.run(relation, constraints, args.k)
+    save_relation(result.relation, args.output)
+    metrics = measure_output(result.relation, args.k)
+    print(f"wrote {args.output}: |R|={len(result.relation)}")
+    print(
+        f"accuracy={metrics['accuracy']:.4f} stars={metrics['stars']} "
+        f"({metrics['star_ratio']:.1%} of QI cells)"
+    )
+    if result.dropped:
+        print(f"dropped {len(result.dropped)} unsatisfiable constraint(s):")
+        for sigma in result.dropped:
+            print(f"  {sigma!r}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    relation = load_relation(args.input)
+    ok = True
+    if not is_k_anonymous(relation, args.k):
+        print(f"FAIL: not {args.k}-anonymous")
+        ok = False
+    else:
+        print(f"OK: {args.k}-anonymous")
+    if args.constraints:
+        constraints = load_constraint_file(args.constraints)
+        for verdict in check_diversity(relation, constraints):
+            status = "OK" if verdict.satisfied else "FAIL"
+            print(
+                f"{status}: {verdict.constraint!r} count={verdict.count}"
+            )
+            ok = ok and verdict.satisfied
+    if args.original:
+        original = load_relation(args.original)
+        problem = KSigmaProblem(
+            original,
+            load_constraint_file(args.constraints)
+            if args.constraints
+            else ConstraintSet(),
+            args.k,
+        )
+        for failure in problem.validate_solution(relation):
+            print(f"FAIL: {failure}")
+            ok = False
+    return 0 if ok else 1
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    relation = load_dataset(args.name, seed=args.seed, n_rows=args.rows)
+    save_relation(relation, args.output)
+    print(
+        f"wrote {args.output}: |R|={len(relation)} "
+        f"n={len(relation.schema)} |ΠQI|={relation.distinct_projection_size()}"
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import harness, reporting
+
+    runners = {
+        "table4": lambda: reporting.format_table(harness.table4_characteristics()),
+        "fig4ab": lambda: _two_tables(harness.fig4ab_vs_nconstraints()),
+        "fig4c": lambda: _two_tables(harness.fig4c_vs_conflict()),
+        "fig4d": lambda: _two_tables(harness.fig4d_vs_distribution()),
+        "fig5ab": lambda: _two_tables(harness.fig5ab_vs_k()),
+        "fig5cd": lambda: _two_tables(harness.fig5cd_vs_size()),
+    }
+    try:
+        runner = runners[args.artifact]
+    except KeyError:
+        raise SystemExit(
+            f"unknown artifact {args.artifact!r}; one of {sorted(runners)}"
+        )
+    print(runner())
+    return 0
+
+
+def _two_tables(experiment) -> str:
+    from .bench.reporting import experiment_table
+
+    return (
+        "runtime (s):\n"
+        + experiment_table(experiment, "runtime")
+        + "\naccuracy:\n"
+        + experiment_table(experiment, "accuracy")
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIVA: diversity-preserving k-anonymization (EDBT 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("anonymize", help="run DIVA on a CSV relation")
+    p.add_argument("input", help="input CSV (with .schema.json sidecar)")
+    p.add_argument("output", help="output CSV path")
+    p.add_argument("-k", type=int, required=True, help="privacy parameter k")
+    p.add_argument("-c", "--constraints", help="diversity constraints file")
+    p.add_argument(
+        "--strategy", default="maxfanout",
+        choices=["basic", "minchoice", "maxfanout"],
+    )
+    p.add_argument("--anonymizer", default="k-member")
+    p.add_argument("--best-effort", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_anonymize)
+
+    p = sub.add_parser("check", help="validate an anonymized CSV")
+    p.add_argument("input", help="anonymized CSV")
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument("-c", "--constraints", help="diversity constraints file")
+    p.add_argument("--original", help="original CSV for R ⊑ R* checking")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("dataset", help="generate an evaluation dataset")
+    p.add_argument("name", choices=sorted(DATASETS))
+    p.add_argument("output", help="output CSV path")
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_dataset)
+
+    p = sub.add_parser("bench", help="regenerate one paper artifact")
+    p.add_argument(
+        "artifact",
+        help="table4 | fig4ab | fig4c | fig4d | fig5ab | fig5cd",
+    )
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,334 @@
+"""Candidate clustering enumeration: ``Clusterings(σ, R)`` (Section 3.3).
+
+For a diversity constraint ``σ = (X[t], λl, λr)`` the candidate clusterings
+are exactly the ways to pick a subset ``S ⊆ Iσ`` of the target tuples with
+``max(k, λl) ≤ |S| ≤ λr`` and partition it into clusters of size ≥ k.  Every
+cluster drawn from ``Iσ`` is uniform on the target attributes, so suppression
+never erases the target values and ``Suppress(S) |= σ`` holds by
+construction (the preserved occurrence count is ``|S|``).
+
+The full candidate space is exponential in ``|Iσ|``; the paper caps the
+number considered per constraint ("the number of clusters considered in
+coloring for each constraint is polynomial w.r.t. R").  We do the same:
+candidates are generated lazily in ascending expected-suppression order
+(QI-homogeneous subsets first, smaller subsets first) up to a configurable
+cap.  For the tiny ``Iσ`` of the running example this enumeration is
+exhaustive and reproduces the paper's listed clusterings exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..data.relation import Relation
+from .constraints import DiversityConstraint
+from .suppress import normalize_clustering
+
+#: Exhaustively enumerate subsets when the number of combinations per size is
+#: below this; otherwise fall back to similarity-guided + random sampling.
+EXHAUSTIVE_COMBINATION_LIMIT = 3_000
+
+#: How many partitions of a single subset to consider (the single-block
+#: partition plus a few balanced splits).
+PARTITIONS_PER_SUBSET = 4
+
+#: Subsets up to this size get combinatorial partition enumeration; larger
+#: ones get a single greedy similarity-chunked k-partition (one cluster per
+#: ~k similar tuples), which is how large proportional constraints stay
+#: tractable and low-suppression.
+SMALL_SUBSET_LIMIT = 8
+
+
+def qi_distance(relation: Relation, tid_a: int, tid_b: int) -> int:
+    """Hamming distance over QI attributes between two tuples.
+
+    This is exactly the number of cells per tuple that suppression would
+    star out if the two tuples were clustered alone together, so it doubles
+    as the suppression-cost metric used to order candidates.
+    """
+    schema = relation.schema
+    row_a, row_b = relation.row(tid_a), relation.row(tid_b)
+    positions = [schema.position(a) for a in schema.qi_names]
+    return sum(1 for p in positions if row_a[p] != row_b[p])
+
+
+def cluster_suppression_cost(relation: Relation, cluster: frozenset) -> int:
+    """Number of cells starred when ``cluster`` is suppressed into a QI-group.
+
+    Cost = (#QI attributes with >1 distinct value in the cluster) × |cluster|.
+    """
+    schema = relation.schema
+    positions = [schema.position(a) for a in schema.qi_names]
+    rows = [relation.row(tid) for tid in cluster]
+    varying = sum(1 for p in positions if len({r[p] for r in rows}) > 1)
+    return varying * len(rows)
+
+
+def clustering_suppression_cost(
+    relation: Relation, clustering: Sequence[frozenset]
+) -> int:
+    """Total suppression cost of a clustering (sum over clusters)."""
+    return sum(cluster_suppression_cost(relation, c) for c in clustering)
+
+
+def preserved_count(
+    relation: Relation, clusters: Sequence[frozenset], sigma: DiversityConstraint
+) -> int:
+    """Occurrences of σ's target values that survive suppressing ``clusters``.
+
+    Suppression only touches QI attributes, so the two kinds of attribute in
+    σ behave differently:
+
+    * a *QI* attribute of σ survives in a cluster iff the cluster is uniform
+      on it — and then every tuple carries the uniform value;
+    * a *non-QI* attribute (sensitive/insensitive) is never suppressed, so
+      each tuple is matched against it individually.
+
+    A cluster therefore contributes the number of its tuples matching σ's
+    non-QI components, provided the cluster is uniform-and-matching on every
+    QI component (otherwise it contributes zero: the QI value is either
+    wrong or starred for the whole cluster).
+    """
+    schema = relation.schema
+    qi = set(schema.qi_names)
+    parts = [
+        (schema.position(a), a in qi, v) for a, v in zip(sigma.attrs, sigma.values)
+    ]
+    total = 0
+    for cluster in clusters:
+        rows = [relation.row(tid) for tid in cluster]
+        qi_ok = True
+        for pos, is_qi, value in parts:
+            if is_qi:
+                values = {r[pos] for r in rows}
+                if len(values) != 1 or value not in values:
+                    qi_ok = False
+                    break
+        if not qi_ok:
+            continue
+        total += sum(
+            1
+            for r in rows
+            if all(is_qi or r[pos] == value for pos, is_qi, value in parts)
+        )
+    return total
+
+
+def greedy_k_partition(
+    items: tuple[int, ...], k: int, qi_rows: dict[int, tuple]
+) -> tuple[frozenset, ...]:
+    """Partition ``items`` into similarity-chunked blocks of size ≥ k.
+
+    Repeatedly seeds a block with the first remaining tuple and fills it
+    with its k−1 nearest neighbours (QI Hamming distance); the final block
+    absorbs the < k leftovers, so every block has size in [k, 2k).  This is
+    the workhorse partition for large target subsets, where enumerating set
+    partitions is hopeless but one low-suppression partition suffices.
+    """
+    def hamming(a: int, b: int) -> int:
+        row_a, row_b = qi_rows[a], qi_rows[b]
+        return sum(1 for x, y in zip(row_a, row_b) if x != y)
+
+    remaining = list(items)
+    blocks: list[frozenset] = []
+    while len(remaining) >= 2 * k:
+        seed = remaining[0]
+        remaining.sort(key=lambda t: (hamming(seed, t), t))
+        blocks.append(frozenset(remaining[:k]))
+        remaining = remaining[k:]
+    blocks.append(frozenset(remaining))
+    return tuple(blocks)
+
+
+def _partitions_min_block(
+    items: tuple[int, ...], k: int, limit: int
+) -> Iterator[tuple[frozenset, ...]]:
+    """Partitions of ``items`` into blocks of size ≥ k, at most ``limit``.
+
+    The single-block partition comes first (it is always valid since callers
+    guarantee ``len(items) >= k``); further partitions are produced by a
+    standard recursive set-partition enumeration filtered on block size.
+    """
+    yield (frozenset(items),)
+    if limit <= 1 or len(items) < 2 * k:
+        return
+    produced = 1
+
+    def recurse(remaining: tuple[int, ...]) -> Iterator[tuple[frozenset, ...]]:
+        """All ≥k-block partitions of ``remaining`` (including single-block)."""
+        if len(remaining) >= k:
+            yield (frozenset(remaining),)
+        if len(remaining) < 2 * k:
+            return
+        first, rest = remaining[0], remaining[1:]
+        # Choose the block containing `first`; recurse on the remainder.
+        for block_minus in itertools.combinations(rest, k - 1):
+            block = frozenset((first,) + block_minus)
+            leftover = tuple(x for x in rest if x not in block)
+            for sub in recurse(leftover):
+                yield (block,) + sub
+
+    for partition in recurse(items):
+        if len(partition) == 1:
+            continue  # already yielded the single-block form
+        yield partition
+        produced += 1
+        if produced >= limit:
+            return
+
+
+def _similarity_seeded_subsets(
+    qi_rows: dict[int, tuple],
+    pool: list[int],
+    size: int,
+    rng: np.random.Generator,
+    cap: int,
+) -> list[tuple[int, ...]]:
+    """Sampled subsets of ``pool``: greedy nearest-neighbour seeds + random.
+
+    Used when exhaustive combination enumeration would be too large.  Each
+    pool tuple seeds one subset grown by repeatedly adding the closest (by
+    QI Hamming distance) remaining tuple — these are the low-suppression
+    candidates.  Random subsets fill the remainder for search diversity.
+    """
+    subsets: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+    seeds = pool if len(pool) <= cap else list(
+        rng.choice(pool, size=cap, replace=False)
+    )
+
+    def hamming(a: int, b: int) -> int:
+        row_a, row_b = qi_rows[a], qi_rows[b]
+        return sum(1 for x, y in zip(row_a, row_b) if x != y)
+
+    for seed in seeds:
+        candidates = [t for t in pool if t != seed]
+        candidates.sort(key=lambda t: hamming(seed, t))
+        chosen = [seed] + candidates[: size - 1]
+        key = tuple(sorted(chosen))
+        if len(key) == size and key not in seen:
+            seen.add(key)
+            subsets.append(key)
+        if len(subsets) >= cap:
+            return subsets
+    attempts = 0
+    while len(subsets) < cap and attempts < 4 * cap:
+        attempts += 1
+        pick = tuple(sorted(rng.choice(pool, size=size, replace=False)))
+        if pick not in seen:
+            seen.add(pick)
+            subsets.append(pick)
+    return subsets
+
+
+def enumerate_clusterings(
+    relation: Relation,
+    sigma: DiversityConstraint,
+    k: int,
+    max_candidates: int = 64,
+    rng: Optional[np.random.Generator] = None,
+    target_tids: Optional[set[int]] = None,
+) -> list[tuple[frozenset, ...]]:
+    """``Clusterings(σ, R)``: candidate clusterings satisfying σ.
+
+    Returns up to ``max_candidates`` clusterings, each a tuple of disjoint
+    frozenset clusters of size ≥ k drawn from ``Iσ``, ordered by ascending
+    suppression cost then ascending total size (minimal clusterings first).
+    Returns an empty list when σ cannot be satisfied from ``Iσ`` (fewer than
+    ``max(k, λl)`` target tuples, or ``λr < k`` while λl > 0 forces an
+    undersized cluster).
+
+    ``target_tids`` lets callers pass a precomputed ``Iσ`` (e.g. the graph
+    builder already has it).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    qi = set(relation.schema.qi_names)
+    if not any(a in qi for a in sigma.attrs):
+        # σ touches no QI attribute: suppression cannot change its count, so
+        # no clustering is needed (feasibility is a global precheck).
+        return [()]
+    pool = sorted(target_tids if target_tids is not None else sigma.target_tids(relation))
+    lo = max(k, sigma.lower)
+    hi = min(sigma.upper, len(pool))
+    if sigma.lower == 0:
+        # The empty clustering satisfies a zero lower bound with no cost.
+        candidates: list[tuple[frozenset, ...]] = [()]
+    else:
+        candidates = []
+    if hi < lo:
+        return candidates
+
+    schema = relation.schema
+    qi_positions = [schema.position(a) for a in schema.qi_names]
+    qi_rows = {
+        tid: tuple(relation.row(tid)[p] for p in qi_positions) for tid in pool
+    }
+
+    def cost_of(clustering: tuple[frozenset, ...]) -> int:
+        total = 0
+        for cluster in clustering:
+            rows = [qi_rows[tid] for tid in cluster]
+            varying = sum(
+                1 for col in zip(*rows) if len(set(col)) > 1
+            )
+            total += varying * len(rows)
+        return total
+
+    scored: list[tuple[int, int, tuple[frozenset, ...]]] = []
+    budget = max_candidates * 3  # oversample, then keep the cheapest
+    for size in range(lo, hi + 1):
+        if len(scored) >= budget:
+            break
+        n_combos = _n_combinations(len(pool), size)
+        if n_combos <= EXHAUSTIVE_COMBINATION_LIMIT:
+            subsets = list(itertools.combinations(pool, size))
+        else:
+            per_size_cap = max(8, budget // max(1, hi + 1 - lo))
+            subsets = _similarity_seeded_subsets(qi_rows, pool, size, rng, per_size_cap)
+        for subset in subsets:
+            if len(subset) <= SMALL_SUBSET_LIMIT:
+                partitions = _partitions_min_block(
+                    subset, k, PARTITIONS_PER_SUBSET
+                )
+            else:
+                partitions = [greedy_k_partition(subset, k, qi_rows)]
+            for partition in partitions:
+                clustering = normalize_clustering(partition)
+                scored.append((cost_of(clustering), size, clustering))
+                if len(scored) >= budget:
+                    break
+            if len(scored) >= budget:
+                break
+
+    scored.sort(key=lambda item: (item[0], item[1], _clustering_key(item[2])))
+    seen: set[tuple] = set()
+    for cost, size, clustering in scored:
+        key = _clustering_key(clustering)
+        if key in seen:
+            continue
+        seen.add(key)
+        candidates.append(clustering)
+        if len(candidates) >= max_candidates:
+            break
+    return candidates
+
+
+def _clustering_key(clustering: tuple[frozenset, ...]) -> tuple:
+    """Hashable canonical identity of a clustering."""
+    return tuple(tuple(sorted(c)) for c in clustering)
+
+
+def _n_combinations(n: int, r: int) -> int:
+    """C(n, r) without overflow surprises (n, r are small here)."""
+    import math
+
+    if r < 0 or r > n:
+        return 0
+    return math.comb(n, r)

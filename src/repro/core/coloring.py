@@ -1,0 +1,417 @@
+"""The backtracking coloring search (paper Algorithms 3 and 4).
+
+Coloring a node = assigning it one of its candidate clusterings.  An
+assignment is *consistent* (paper Section 3.2's two conditions) iff:
+
+1. **Disjoint-or-equal** — every cluster of the candidate is either disjoint
+   from, or identical to, every already-assigned cluster.  Overlapping
+   unequal clusters would not suppress into QI-groups.
+2. **Upper bounds preserved** — the union of assigned clusterings (clusters
+   deduplicated, since two constraints may share a cluster) must not push
+   any constraint's surviving target-value count above its λr.
+
+The search is exact backtracking; the strategy object decides the node and
+candidate order (that ordering is the entire difference between DIVA-Basic,
+MinChoice and MaxFanOut).  Search effort statistics are recorded so the
+benchmarks can expose Basic's blow-up.
+
+For speed the search keeps incremental state: each distinct cluster's
+contribution to each constraint's surviving count is precomputed once
+(a cluster contributes |cluster| to σ iff it is uniform on σ's attributes
+with σ's target values), and the live assignment maintains per-cluster
+refcounts, a covered-tid map and per-constraint running counts, so a
+consistency check costs O(|candidate clusters| × cluster size) instead of
+re-suppressing the union.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..data.relation import Relation
+from .clusterings import enumerate_clusterings, greedy_k_partition, preserved_count
+from .constraints import ConstraintSet
+from .errors import ReproError
+from .graph import ConstraintGraph, build_graph
+from .strategies import SelectionStrategy, make_strategy
+from .suppress import normalize_clustering
+
+Clustering = tuple  # tuple[frozenset, ...]
+
+
+class SearchBudgetExceeded(ReproError):
+    """The coloring search hit its step budget before finishing.
+
+    Carries the partial stats so best-effort callers can report effort.
+    """
+
+    def __init__(self, message: str, partial: Optional[dict] = None):
+        super().__init__(message)
+        self.partial = partial or {}
+
+
+@dataclass
+class SearchStats:
+    """Effort counters for one coloring search."""
+
+    nodes_expanded: int = 0
+    candidates_tried: int = 0
+    backtracks: int = 0
+    consistency_checks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "candidates_tried": self.candidates_tried,
+            "backtracks": self.backtracks,
+            "consistency_checks": self.consistency_checks,
+        }
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of DiverseClustering.
+
+    ``assignment`` maps node index → clustering; ``clustering`` is the merged
+    SΣ (deduplicated clusters); ``satisfied`` lists the constraints covered;
+    ``stats`` the search counters.
+    """
+
+    success: bool
+    assignment: dict[int, Clustering] = field(default_factory=dict)
+    clustering: tuple = ()
+    satisfied: tuple = ()
+    dropped: tuple = ()
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+def clusters_consistent(
+    candidate: Sequence[frozenset], chosen: Sequence[frozenset]
+) -> bool:
+    """Condition 1: disjoint-or-equal against every already-chosen cluster."""
+    for cluster in candidate:
+        for other in chosen:
+            if cluster != other and cluster & other:
+                return False
+    return True
+
+
+def merged_clusters(
+    assignment: dict[int, Clustering], extra: Sequence[frozenset] = ()
+) -> tuple[frozenset, ...]:
+    """Union of all assigned clusters plus ``extra``, deduplicated."""
+    seen: set[frozenset] = set()
+    out: list[frozenset] = []
+    for clustering in assignment.values():
+        for cluster in clustering:
+            if cluster not in seen:
+                seen.add(cluster)
+                out.append(cluster)
+    for cluster in extra:
+        if cluster not in seen:
+            seen.add(cluster)
+            out.append(cluster)
+    return tuple(out)
+
+
+class ColoringSearch:
+    """One (R, Σ, k) coloring problem with a given strategy."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        constraints: ConstraintSet,
+        k: int,
+        strategy: SelectionStrategy | str = "maxfanout",
+        max_candidates: int = 64,
+        max_steps: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        graph: Optional[ConstraintGraph] = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.relation = relation
+        self.constraints = constraints
+        self.k = k
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.strategy = (
+            strategy
+            if isinstance(strategy, SelectionStrategy)
+            else make_strategy(strategy, self.rng)
+        )
+        self.graph = graph if graph is not None else build_graph(relation, constraints)
+        self.max_steps = max_steps
+        self.stats = SearchStats()
+        self._candidates: dict[int, list[Clustering]] = {}
+        for node in self.graph:
+            self._candidates[node.index] = enumerate_clusterings(
+                relation,
+                node.constraint,
+                k,
+                max_candidates=max_candidates,
+                rng=self.rng,
+                target_tids=set(node.target_tids),
+            )
+        # Precompute each distinct cluster's contribution per constraint
+        # (extended lazily for dynamically generated clusters).
+        self._contrib: dict[frozenset, tuple[tuple[int, int], ...]] = {}
+        for candidates in self._candidates.values():
+            for clustering in candidates:
+                for cluster in clustering:
+                    if cluster not in self._contrib:
+                        self._contrib[cluster] = self._cluster_contributions(cluster)
+        schema = relation.schema
+        qi_positions = [schema.position(a) for a in schema.qi_names]
+        self._qi_rows = {
+            tid: tuple(relation.row(tid)[p] for p in qi_positions)
+            for node in self.graph
+            for tid in node.target_tids
+        }
+        # Live assignment state.
+        self._cluster_refs: dict[frozenset, int] = {}
+        self._covered: dict[int, int] = {}
+        self._counts: dict[int, int] = {n.index: 0 for n in self.graph}
+        self._uppers: dict[int, int] = {
+            n.index: n.constraint.upper for n in self.graph
+        }
+
+    def _cluster_contributions(self, cluster: frozenset) -> tuple[tuple[int, int], ...]:
+        """(node index, surviving-count delta) pairs for one cluster.
+
+        Constraints over only non-QI attributes are excluded: their counts
+        are fixed globally by the relation (suppression cannot change them),
+        so they neither need clusters nor constrain the search — their
+        feasibility is a precheck in :class:`~repro.core.problem.KSigmaProblem`.
+        """
+        qi = set(self.relation.schema.qi_names)
+        contribs = []
+        for node in self.graph:
+            if not any(a in qi for a in node.constraint.attrs):
+                continue
+            delta = preserved_count(self.relation, (cluster,), node.constraint)
+            if delta:
+                contribs.append((node.index, delta))
+        return tuple(contribs)
+
+    # -- consistency ---------------------------------------------------------
+
+    def candidates(self, index: int) -> list[Clustering]:
+        """The (capped) candidate clusterings of node ``index``."""
+        return list(self._candidates[index])
+
+    def is_consistent(
+        self, candidate: Clustering, assignment: dict[int, Clustering]
+    ) -> bool:
+        """Reference (non-incremental) consistency check for an arbitrary
+        assignment; the search itself uses the incremental ``_consistent``."""
+        self.stats.consistency_checks += 1
+        chosen = merged_clusters(assignment)
+        if not clusters_consistent(candidate, chosen):
+            return False
+        qi = set(self.relation.schema.qi_names)
+        union = merged_clusters(assignment, candidate)
+        for node in self.graph:
+            if not any(a in qi for a in node.constraint.attrs):
+                continue  # count fixed globally; handled by the precheck
+            count = preserved_count(self.relation, union, node.constraint)
+            if count > node.constraint.upper:
+                return False
+        return True
+
+    def _consistent(self, candidate: Clustering) -> bool:
+        """Incremental consistency against the live assignment state."""
+        self.stats.consistency_checks += 1
+        deltas: dict[int, int] = {}
+        for cluster in candidate:
+            if cluster in self._cluster_refs:
+                continue  # identical cluster already chosen: nothing new
+            for tid in cluster:
+                if tid in self._covered:
+                    return False  # partial overlap with a chosen cluster
+            for j, delta in self._contributions(cluster):
+                deltas[j] = deltas.get(j, 0) + delta
+        for j, delta in deltas.items():
+            if self._counts[j] + delta > self._uppers[j]:
+                return False
+        return True
+
+    def _contributions(self, cluster: frozenset) -> tuple[tuple[int, int], ...]:
+        """Cached per-constraint contributions, computed lazily for dynamic
+        clusters that were not in the static candidate pools."""
+        cached = self._contrib.get(cluster)
+        if cached is None:
+            cached = self._cluster_contributions(cluster)
+            self._contrib[cluster] = cached
+        return cached
+
+    def consistent_count(self, index: int, assignment=None) -> int:
+        """How many of node ``index``'s candidates remain consistent with
+        the live assignment (used by the MinChoice strategy)."""
+        return sum(1 for c in self._candidates[index] if self._consistent(c))
+
+    def _apply(self, candidate: Clustering) -> None:
+        for cluster in candidate:
+            refs = self._cluster_refs.get(cluster, 0)
+            self._cluster_refs[cluster] = refs + 1
+            if refs == 0:
+                for tid in cluster:
+                    self._covered[tid] = self._covered.get(tid, 0) + 1
+                for j, delta in self._contributions(cluster):
+                    self._counts[j] += delta
+
+    def _revert(self, candidate: Clustering) -> None:
+        for cluster in candidate:
+            refs = self._cluster_refs[cluster] - 1
+            if refs == 0:
+                del self._cluster_refs[cluster]
+                for tid in cluster:
+                    if self._covered[tid] == 1:
+                        del self._covered[tid]
+                    else:
+                        self._covered[tid] -= 1
+                for j, delta in self._contributions(cluster):
+                    self._counts[j] -= delta
+            else:
+                self._cluster_refs[cluster] = refs
+
+    # -- search --------------------------------------------------------------
+
+    def run(self) -> ColoringResult:
+        """Execute the full backtracking search (Algorithm 4).
+
+        Raises :class:`SearchBudgetExceeded` if ``max_steps`` candidate
+        evaluations are exhausted first.
+        """
+        assignment: dict[int, Clustering] = {}
+        all_indices = [node.index for node in self.graph]
+        success = self._color(assignment, set(all_indices))
+        if not success:
+            return ColoringResult(False, stats=self.stats)
+        merged = normalize_clustering(merged_clusters(assignment))
+        satisfied = tuple(self.graph.node(i).constraint for i in sorted(assignment))
+        return ColoringResult(
+            True,
+            assignment=dict(assignment),
+            clustering=merged,
+            satisfied=satisfied,
+            stats=self.stats,
+        )
+
+    def _color(self, assignment: dict[int, Clustering], uncolored: set[int]) -> bool:
+        if not uncolored:
+            return True
+        self.stats.nodes_expanded += 1
+        node_index = self.strategy.next_node(
+            sorted(uncolored),
+            self.graph,
+            frozenset(assignment),
+            self.consistent_count,
+        )
+        candidates = self.strategy.order_clusterings(self._candidates[node_index])
+        # Dynamic residual-pool candidates first: they are adapted to the
+        # live assignment (shortfall-sized, collision-free), so they both
+        # suppress less and backtrack less than the static pool.
+        for candidate in self._dynamic_candidates(node_index) + candidates:
+            self._charge_step()
+            self.stats.candidates_tried += 1
+            if not self._consistent(candidate):
+                continue
+            assignment[node_index] = candidate
+            uncolored.discard(node_index)
+            self._apply(candidate)
+            if self._color(assignment, uncolored):
+                return True
+            self._revert(candidate)
+            del assignment[node_index]
+            uncolored.add(node_index)
+            self.stats.backtracks += 1
+        return False
+
+    def _dynamic_candidates(self, index: int) -> list[Clustering]:
+        """Residual-pool clusterings adapted to the live assignment.
+
+        Static candidates always carry the full λl, but once neighbours are
+        colored (a) part of σ's target pool is covered by foreign clusters
+        and (b) shared clusters may already contribute to σ's count.  These
+        candidates draw only from the *uncovered* target tuples and only for
+        the *remaining* shortfall — the "update the candidate clusterings"
+        refinement that lets nested/overlapping constraints coordinate
+        instead of colliding.
+        """
+        node = self.graph.node(index)
+        sigma = node.constraint
+        qi = set(self.relation.schema.qi_names)
+        if not any(a in qi for a in sigma.attrs):
+            return []  # globally determined; the static [()] suffices
+        have = self._counts[index]
+        need = max(0, sigma.lower - have)
+        if need == 0:
+            # Lower bound already met by shared clusters: color with the
+            # empty clustering (upper bounds were enforced as they grew).
+            return [()]
+        pool = sorted(t for t in node.target_tids if t not in self._covered)
+        size = max(self.k, need)
+        if size > len(pool) or have + size > sigma.upper:
+            return []
+        out: list[Clustering] = []
+        # A few similarity-seeded subsets of the residual pool.
+        seeds = pool[:: max(1, len(pool) // 3)][:3]
+        seen: set[tuple] = set()
+        for seed in seeds:
+            ordered = sorted(
+                pool,
+                key=lambda t: (
+                    sum(
+                        1
+                        for x, y in zip(self._qi_rows[seed], self._qi_rows[t])
+                        if x != y
+                    ),
+                    t,
+                ),
+            )
+            subset = tuple(ordered[:size])
+            clustering = normalize_clustering(
+                greedy_k_partition(subset, self.k, self._qi_rows)
+            )
+            key = tuple(tuple(sorted(c)) for c in clustering)
+            if key not in seen:
+                seen.add(key)
+                out.append(clustering)
+        return out
+
+    def _charge_step(self) -> None:
+        if self.max_steps is not None and self.stats.candidates_tried >= self.max_steps:
+            raise SearchBudgetExceeded(
+                f"coloring exceeded {self.max_steps} candidate evaluations",
+                partial={"stats": self.stats},
+            )
+
+
+def diverse_clustering(
+    relation: Relation,
+    constraints: ConstraintSet,
+    k: int,
+    strategy: SelectionStrategy | str = "maxfanout",
+    max_candidates: int = 64,
+    max_steps: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ColoringResult:
+    """``DiverseClustering(R, Σ, k)`` (Algorithm 3).
+
+    Returns a :class:`ColoringResult`; ``result.success`` is False when no
+    diverse clustering exists (DIVA then reports "relation does not exist").
+    """
+    search = ColoringSearch(
+        relation,
+        constraints,
+        k,
+        strategy=strategy,
+        max_candidates=max_candidates,
+        max_steps=max_steps,
+        rng=rng,
+    )
+    return search.run()

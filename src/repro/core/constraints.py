@@ -1,0 +1,240 @@
+"""Diversity constraints over relations (paper Definition 2.3).
+
+A diversity constraint ``σ = (X[t], λl, λr)`` requires that the published
+relation contain at least ``λl`` and at most ``λr`` tuples whose attributes
+``X`` carry exactly the target values ``t``.  Single-attribute constraints
+``(A[a], λl, λr)`` are the common case; the multi-attribute extension is the
+same object with ``|X| > 1``.
+
+Satisfaction is counted over concrete values only: a suppressed cell is not
+an occurrence of any value, which is what couples diversity with
+suppression-based anonymization — suppressing a characteristic value can
+*break* a lower bound, and keeping too many can break an upper bound.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from ..data.relation import Relation, Schema
+from .errors import ConstraintFormatError
+
+_PARSE_RE = re.compile(
+    r"""^\s*
+    (?P<attrs>[^\[\]]+)            # attribute name(s), comma separated
+    \[(?P<values>[^\[\]]+)\]       # target value(s)
+    \s*,\s*(?P<lo>\d+)
+    \s*,\s*(?P<hi>\d+)
+    \s*$""",
+    re.VERBOSE,
+)
+
+
+class DiversityConstraint:
+    """``σ = (X[t], λl, λr)``: bounds on the frequency of a target tuple.
+
+    Parameters
+    ----------
+    attrs:
+        The characteristic attribute(s) ``X`` — a name or sequence of names.
+    values:
+        The target value(s) ``t``, aligned with ``attrs``.
+    lower, upper:
+        The frequency range ``[λl, λr]`` (inclusive, non-negative,
+        ``lower <= upper``).
+
+    Examples
+    --------
+    >>> sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+    >>> sigma.attrs, sigma.values, sigma.lower, sigma.upper
+    (('ETH',), ('Asian',), 2, 5)
+    """
+
+    __slots__ = ("_attrs", "_values", "_lower", "_upper")
+
+    def __init__(
+        self,
+        attrs: str | Sequence[str],
+        values: Any | Sequence[Any],
+        lower: int,
+        upper: int,
+    ):
+        if isinstance(attrs, str):
+            attrs = (attrs,)
+            values = (values,)
+        else:
+            attrs = tuple(attrs)
+            values = tuple(values) if isinstance(values, (list, tuple)) else (values,)
+        if not attrs:
+            raise ConstraintFormatError("constraint needs at least one attribute")
+        if len(attrs) != len(values):
+            raise ConstraintFormatError(
+                f"{len(attrs)} attributes but {len(values)} target values"
+            )
+        if len(set(attrs)) != len(attrs):
+            raise ConstraintFormatError(f"repeated attribute in {attrs}")
+        if not (isinstance(lower, int) and isinstance(upper, int)):
+            raise ConstraintFormatError("bounds must be integers")
+        if lower < 0 or upper < 0:
+            raise ConstraintFormatError("bounds must be non-negative")
+        if lower > upper:
+            raise ConstraintFormatError(
+                f"lower bound {lower} exceeds upper bound {upper}"
+            )
+        self._attrs = attrs
+        self._values = values
+        self._lower = lower
+        self._upper = upper
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        """The characteristic attributes ``X``."""
+        return self._attrs
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The target values ``t``."""
+        return self._values
+
+    @property
+    def lower(self) -> int:
+        """λl — minimum required occurrences."""
+        return self._lower
+
+    @property
+    def upper(self) -> int:
+        """λr — maximum allowed occurrences."""
+        return self._upper
+
+    @property
+    def is_single_attribute(self) -> bool:
+        return len(self._attrs) == 1
+
+    # -- semantics -----------------------------------------------------------
+
+    def count(self, relation: Relation) -> int:
+        """Occurrences of the target values in ``relation`` (STARs excluded)."""
+        return relation.count_matching(self._attrs, self._values)
+
+    def target_tids(self, relation: Relation) -> set[int]:
+        """``Iσ``: tids of tuples carrying the target values (Section 3.3)."""
+        return relation.matching_tids(self._attrs, self._values)
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """``R |= σ`` per Definition 2.3."""
+        return self._lower <= self.count(relation) <= self._upper
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise if the constraint references attributes absent from schema."""
+        schema.validate_names(self._attrs)
+
+    # -- protocol ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiversityConstraint):
+            return NotImplemented
+        return (
+            self._attrs == other._attrs
+            and self._values == other._values
+            and self._lower == other._lower
+            and self._upper == other._upper
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._attrs, self._values, self._lower, self._upper))
+
+    def __repr__(self) -> str:
+        target = ", ".join(
+            f"{a}[{v}]" for a, v in zip(self._attrs, self._values)
+        )
+        return f"({target}, {self._lower}, {self._upper})"
+
+    @classmethod
+    def parse(cls, text: str) -> "DiversityConstraint":
+        """Parse ``"ETH[Asian], 2, 5"`` or ``"GEN,ETH[Male,Asian], 1, 3"``.
+
+        The textual form mirrors the paper's notation; multi-attribute
+        constraints list attributes and values comma-separated in the same
+        order.
+        """
+        match = _PARSE_RE.match(text)
+        if match is None:
+            raise ConstraintFormatError(
+                f"cannot parse constraint {text!r}; expected 'A[a], lo, hi'"
+            )
+        attrs = tuple(a.strip() for a in match["attrs"].split(","))
+        values = tuple(v.strip() for v in match["values"].split(","))
+        if len(attrs) != len(values):
+            raise ConstraintFormatError(
+                f"{len(attrs)} attributes but {len(values)} values in {text!r}"
+            )
+        return cls(attrs, values, int(match["lo"]), int(match["hi"]))
+
+
+class ConstraintSet:
+    """An ordered set ``Σ`` of diversity constraints.
+
+    Order is preserved (it is the node order of the constraint graph);
+    duplicates are rejected.  ``R |= Σ`` iff every member is satisfied.
+    """
+
+    __slots__ = ("_constraints",)
+
+    def __init__(self, constraints: Iterable[DiversityConstraint] = ()):
+        items: list[DiversityConstraint] = []
+        seen: set[DiversityConstraint] = set()
+        for c in constraints:
+            if not isinstance(c, DiversityConstraint):
+                c = DiversityConstraint.parse(str(c))
+            if c in seen:
+                raise ConstraintFormatError(f"duplicate constraint {c!r}")
+            seen.add(c)
+            items.append(c)
+        self._constraints = tuple(items)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[DiversityConstraint]:
+        return iter(self._constraints)
+
+    def __getitem__(self, index: int) -> DiversityConstraint:
+        return self._constraints[index]
+
+    def __contains__(self, c: object) -> bool:
+        return c in self._constraints
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return self._constraints == other._constraints
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(c) for c in self._constraints)
+        return f"Σ{{{inner}}}"
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """``R |= Σ``: every constraint satisfied."""
+        return all(c.is_satisfied_by(relation) for c in self._constraints)
+
+    def violations(self, relation: Relation) -> list[tuple[DiversityConstraint, int]]:
+        """Constraints violated by ``relation``, with the observed counts."""
+        result = []
+        for c in self._constraints:
+            n = c.count(relation)
+            if not c.lower <= n <= c.upper:
+                result.append((c, n))
+        return result
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise if any constraint references an attribute absent from schema."""
+        for c in self._constraints:
+            c.validate_against(schema)
+
+    def target_map(self, relation: Relation) -> dict[DiversityConstraint, set[int]]:
+        """``Iσ`` for every constraint, computed once."""
+        return {c: c.target_tids(relation) for c in self._constraints}

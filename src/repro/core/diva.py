@@ -1,0 +1,351 @@
+"""DIVA — DIVerse and Anonymized publishing (paper Algorithm 1).
+
+The top-level pipeline:
+
+1. **DiverseClustering** — backtracking graph coloring finds a clustering
+   SΣ of (a subset of) the tuples that satisfies every σ ∈ Σ.
+2. **Suppress** — SΣ becomes the k-anonymous, Σ-satisfying relation RΣ.
+3. **Anonymize** — the remaining tuples ``R \\ SΣ`` go through an
+   off-the-shelf k-anonymizer (k-member by default, as in the paper's
+   evaluation) to produce Rk.
+4. **Integrate** — ``RΣ ∪ Rk`` is checked against Σ's upper bounds; Rk-side
+   violations are repaired by whole-group suppression.
+
+``DivaResult`` carries the published relation together with phase timings,
+search statistics and the repair report, which is everything the benchmark
+harness needs to regenerate the paper's figures.
+
+Failure semantics: in *strict* mode an unsatisfiable Σ raises
+:class:`UnsatisfiableError` (the paper's "relation does not exist").  In
+*best-effort* mode DIVA instead drops the fewest, most-restrictive
+constraints needed to make coloring succeed and reports them in
+``result.dropped`` — the high-conflict sweeps of Figure 4c use this so a
+single infeasible Σ doesn't abort a whole experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from ..data.relation import Relation
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..anonymize import Anonymizer
+from .coloring import ColoringSearch, SearchBudgetExceeded, SearchStats
+from .constraints import ConstraintSet, DiversityConstraint
+from .errors import UnsatisfiableError
+from .integrate import IntegrationReport, integrate
+from .problem import KSigmaProblem
+from .strategies import SelectionStrategy, make_strategy
+from .suppress import covered_tids, suppress
+
+
+@dataclass
+class DivaResult:
+    """Everything DIVA produced for one (R, Σ, k) instance."""
+
+    relation: Relation
+    clustering: tuple = ()
+    r_sigma: Optional[Relation] = None
+    r_k: Optional[Relation] = None
+    satisfied: tuple[DiversityConstraint, ...] = ()
+    dropped: tuple[DiversityConstraint, ...] = ()
+    stats: SearchStats = field(default_factory=SearchStats)
+    integration: IntegrationReport = field(default_factory=IntegrationReport)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    @property
+    def fully_diverse(self) -> bool:
+        """True when no constraint had to be dropped."""
+        return not self.dropped
+
+    def summary(self) -> str:
+        """Human-readable one-screen report of the run."""
+        lines = [
+            f"DIVA result: {len(self.relation)} tuples published",
+            f"  diverse clustering: {len(self.clustering)} cluster(s) over "
+            f"{sum(len(c) for c in self.clustering)} tuple(s)",
+            f"  constraints: {len(self.satisfied)} satisfied, "
+            f"{len(self.dropped)} dropped",
+        ]
+        if self.dropped:
+            for sigma in self.dropped:
+                lines.append(f"    dropped {sigma!r}")
+        lines.append(
+            f"  suppression: {self.relation.star_count()} starred cell(s)"
+        )
+        if self.integration.repairs:
+            lines.append(
+                f"  integrate repairs: {len(self.integration.repairs)} "
+                f"constraint(s), {self.integration.cells_starred} cell(s)"
+            )
+        lines.append(
+            "  search: "
+            f"{self.stats.candidates_tried} candidates tried, "
+            f"{self.stats.backtracks} backtracks"
+        )
+        lines.append(
+            "  time: "
+            + ", ".join(f"{k} {v:.3f}s" for k, v in self.timings.items())
+        )
+        return "\n".join(lines)
+
+
+class Diva:
+    """Configured DIVA solver.
+
+    Parameters
+    ----------
+    strategy:
+        Node/clustering selection: ``"basic"``, ``"minchoice"`` or
+        ``"maxfanout"`` (or a :class:`SelectionStrategy` instance).
+    anonymizer:
+        Off-the-shelf k-anonymizer for the Anonymize phase; name
+        (``"k-member"``, ``"oka"``, ``"mondrian"``) or instance.
+    best_effort:
+        Drop unsatisfiable constraints instead of raising.
+    max_candidates:
+        Cap on clusterings enumerated per constraint (the paper's
+        polynomiality knob).
+    max_steps:
+        Budget on candidate evaluations in the coloring search (default
+        100k; pass None for an unbounded, exact search).  Exceeding it
+        raises (strict) or triggers constraint dropping (best-effort).
+    refine:
+        Run the suppression-minimality polish (``core.refine``) on the
+        Anonymize-phase clusters after Integrate.
+    seed:
+        Seeds every random choice (strategies, anonymizers, sampling).
+    """
+
+    def __init__(
+        self,
+        strategy: Union[str, SelectionStrategy] = "maxfanout",
+        anonymizer: Union[str, Anonymizer] = "k-member",
+        best_effort: bool = False,
+        max_candidates: int = 64,
+        max_steps: Optional[int] = 100_000,
+        refine: bool = False,
+        seed: int = 0,
+    ):
+        self._strategy_spec = strategy
+        self._anonymizer_spec = anonymizer
+        self.best_effort = best_effort
+        self.max_candidates = max_candidates
+        self.max_steps = max_steps
+        self.refine = refine
+        self.seed = seed
+
+    def _fresh_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    def _fresh_strategy(self, rng: np.random.Generator) -> SelectionStrategy:
+        if isinstance(self._strategy_spec, SelectionStrategy):
+            return self._strategy_spec
+        return make_strategy(self._strategy_spec, rng)
+
+    def _fresh_anonymizer(self, rng: np.random.Generator) -> "Anonymizer":
+        from ..anonymize import Anonymizer, make_anonymizer
+
+        if isinstance(self._anonymizer_spec, Anonymizer):
+            return self._anonymizer_spec
+        return make_anonymizer(self._anonymizer_spec, rng)
+
+    # -- main entry point ------------------------------------------------------
+
+    def run(
+        self, relation: Relation, constraints: ConstraintSet, k: int
+    ) -> DivaResult:
+        """Solve one (k, Σ)-anonymization instance (Algorithm 1)."""
+        problem = KSigmaProblem(relation, constraints, k)
+        rng = self._fresh_rng()
+
+        active = constraints
+        dropped: list[DiversityConstraint] = []
+        infeasible = problem.infeasible_constraints()
+        if infeasible:
+            if not self.best_effort:
+                raise UnsatisfiableError(
+                    "infeasible constraints: "
+                    + "; ".join(f"{p.constraint!r} ({p.reason})" for p in infeasible),
+                    unsatisfied=[p.constraint for p in infeasible],
+                )
+            bad = {p.constraint for p in infeasible}
+            dropped.extend(c for c in active if c in bad)
+            active = ConstraintSet(c for c in active if c not in bad)
+
+        timings: dict[str, float] = {}
+
+        # Phase 1: DiverseClustering (with best-effort constraint dropping).
+        t0 = time.perf_counter()
+        coloring, active, newly_dropped = self._diverse_clustering(
+            relation, active, k, rng
+        )
+        dropped.extend(newly_dropped)
+        timings["diverse_clustering"] = time.perf_counter() - t0
+        if coloring is None:
+            raise UnsatisfiableError(
+                "no diverse clustering exists: relation does not exist",
+                unsatisfied=list(constraints),
+            )
+
+        # Phase 2: Suppress SΣ into RΣ.
+        t0 = time.perf_counter()
+        r_sigma = suppress(relation, coloring.clustering)
+        timings["suppress"] = time.perf_counter() - t0
+
+        # Phase 3: Anonymize the remaining tuples.
+        t0 = time.perf_counter()
+        rest = relation.without(covered_tids(coloring.clustering))
+        if len(rest) == 0:
+            r_k = rest
+        elif len(rest) < k:
+            # Fewer than k leftovers cannot form their own QI-group; fold
+            # them into the SΣ cluster where they do the least damage.
+            r_sigma = self._absorb_small_remainder(
+                relation, coloring.clustering, rest, active
+            )
+            r_k = rest.without(rest.tids)
+        else:
+            anonymizer = self._fresh_anonymizer(rng)
+            r_k = anonymizer.anonymize(rest, k)
+        timings["anonymize"] = time.perf_counter() - t0
+
+        # Phase 4: Integrate and repair upper bounds.
+        t0 = time.perf_counter()
+        final, report = integrate(r_sigma, r_k, active)
+        timings["integrate"] = time.perf_counter() - t0
+
+        if self.refine:
+            from .refine import refine_result
+
+            t0 = time.perf_counter()
+            draft = DivaResult(
+                relation=final,
+                r_sigma=r_sigma,
+                r_k=r_k,
+                satisfied=tuple(active),
+            )
+            final, _saved = refine_result(draft, relation, k)
+            timings["refine"] = time.perf_counter() - t0
+
+        return DivaResult(
+            relation=final,
+            clustering=coloring.clustering,
+            r_sigma=r_sigma,
+            r_k=r_k,
+            satisfied=tuple(active),
+            dropped=tuple(dropped),
+            stats=coloring.stats,
+            integration=report,
+            timings=timings,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _diverse_clustering(self, relation, constraints, k, rng):
+        """Run the coloring search, dropping constraints in best-effort mode.
+
+        Returns ``(result_or_None, surviving_constraints, dropped)``.
+        """
+        dropped: list[DiversityConstraint] = []
+        active = constraints
+        budget = self.max_steps
+        while True:
+            search = ColoringSearch(
+                relation,
+                active,
+                k,
+                strategy=self._fresh_strategy(rng),
+                max_candidates=self.max_candidates,
+                max_steps=budget,
+                rng=rng,
+            )
+            try:
+                result = search.run()
+            except SearchBudgetExceeded:
+                if not self.best_effort:
+                    raise
+                result = None
+            if result is not None and result.success:
+                return result, active, dropped
+            if not self.best_effort:
+                return None, active, dropped
+            if len(active) == 0:
+                # Nothing left to drop: succeed with the empty clustering.
+                from .coloring import ColoringResult
+
+                return ColoringResult(True, clustering=()), active, dropped
+            # Drop the most restrictive constraint (fewest candidates) and
+            # retry — the cheapest way to restore satisfiability.  The step
+            # budget halves per retry so repeated failed searches stay
+            # bounded (total work ≤ 2 × max_steps) even for large Σ.
+            victim = min(
+                (node for node in search.graph),
+                key=lambda n: (len(search.candidates(n.index)), n.index),
+            ).constraint
+            dropped.append(victim)
+            active = ConstraintSet(c for c in active if c != victim)
+            if budget is not None:
+                budget = max(budget // 2, 2_000)
+
+    @staticmethod
+    def _absorb_small_remainder(relation, clustering, rest, constraints):
+        """Re-suppress with the < k leftover tuples folded into clusters.
+
+        Each leftover tuple is placed greedily into the host cluster that
+        (first) keeps Σ satisfied and (second) adds the fewest stars —
+        merging can star a target attribute and break a lower bound, so
+        satisfaction is re-checked per candidate host.  Falls back to the
+        cheapest violating merge when no host preserves Σ (the violation
+        then surfaces through the problem validator / metrics, not
+        silently).
+        """
+        clusters = [set(c) for c in clustering]
+        for tid in sorted(rest.tids):
+            best = None  # ((violates, stars), host_index)
+            for host_index in range(len(clusters)):
+                trial = [set(c) for c in clusters]
+                trial[host_index].add(tid)
+                merged = suppress(relation.restrict(
+                    {t for c in trial for t in c}
+                ), trial)
+                violates = not constraints.is_satisfied_by(merged)
+                key = (violates, merged.star_count())
+                if best is None or key < best[0]:
+                    best = (key, host_index)
+            clusters[best[1]].add(tid)
+        return suppress(relation, clusters)
+
+
+def run_diva(
+    relation: Relation,
+    constraints: ConstraintSet,
+    k: int,
+    strategy: Union[str, SelectionStrategy] = "maxfanout",
+    anonymizer: Union[str, Anonymizer] = "k-member",
+    best_effort: bool = False,
+    max_candidates: int = 64,
+    max_steps: Optional[int] = 100_000,
+    refine: bool = False,
+    seed: int = 0,
+) -> DivaResult:
+    """One-call convenience wrapper around :class:`Diva`."""
+    solver = Diva(
+        strategy=strategy,
+        anonymizer=anonymizer,
+        best_effort=best_effort,
+        max_candidates=max_candidates,
+        max_steps=max_steps,
+        refine=refine,
+        seed=seed,
+    )
+    return solver.run(relation, constraints, k)

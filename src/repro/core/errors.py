@@ -1,0 +1,29 @@
+"""Exception types raised by the DIVA core."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class UnsatisfiableError(ReproError):
+    """No diverse k-anonymous relation exists for the given (k, Σ) problem.
+
+    Raised by DIVA in strict mode when the coloring search exhausts every
+    clustering assignment — the paper's "relation does not exist" outcome
+    (Algorithm 1, line 2).  ``unsatisfied`` lists the constraints that could
+    not be accommodated when the failure is attributable to specific nodes.
+    """
+
+    def __init__(self, message: str, unsatisfied=()):
+        super().__init__(message)
+        self.unsatisfied = tuple(unsatisfied)
+
+
+class ConstraintFormatError(ReproError, ValueError):
+    """A diversity constraint is syntactically or semantically malformed."""
+
+
+class AnonymizationError(ReproError):
+    """An anonymization routine could not produce a valid k-anonymous output."""

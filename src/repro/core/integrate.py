@@ -1,0 +1,116 @@
+"""The Integrate phase of DIVA (Algorithm 1, last step).
+
+``R' = RΣ ∪ Rk`` always meets every constraint's *lower* bound (RΣ was built
+to preserve it, and union only adds occurrences) and is k-anonymous (both
+parts are).  What Rk can break is an *upper* bound: the off-the-shelf
+anonymizer knows nothing about Σ and may leave extra target occurrences
+visible.  Integrate repairs this by suppressing the offending attribute for
+whole QI-groups of Rk — whole groups so k-anonymity is untouched, from Rk
+only so RΣ's lower-bound guarantees survive — greedily choosing the groups
+that remove the most overage per starred cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.relation import Relation
+from .constraints import ConstraintSet, DiversityConstraint
+
+
+@dataclass
+class IntegrationReport:
+    """What Integrate had to do.
+
+    ``repairs`` lists ``(constraint, n_groups_suppressed, cells_starred)``
+    per violated constraint; ``cells_starred`` totals the information-loss
+    cost of integration.
+    """
+
+    repairs: list[tuple[DiversityConstraint, int, int]] = field(default_factory=list)
+
+    @property
+    def cells_starred(self) -> int:
+        return sum(cells for _, _, cells in self.repairs)
+
+    @property
+    def touched_constraints(self) -> list[DiversityConstraint]:
+        return [c for c, _, _ in self.repairs]
+
+
+def integrate(
+    r_sigma: Relation,
+    r_k: Relation,
+    constraints: ConstraintSet,
+) -> tuple[Relation, IntegrationReport]:
+    """Union the two parts and repair upper-bound violations caused by Rk.
+
+    Returns the final relation and a report of the repairs performed.
+    Both inputs must share a schema and have disjoint tids (they partition
+    the original tuples).
+    """
+    combined = r_sigma.union(r_k)
+    report = IntegrationReport()
+    protected = set(r_sigma.tids)
+    for sigma in constraints:
+        count = sigma.count(combined)
+        if count <= sigma.upper:
+            continue
+        overage = count - sigma.upper
+        combined, groups, cells = _repair_upper_bound(
+            combined, sigma, overage, protected
+        )
+        report.repairs.append((sigma, groups, cells))
+    return combined, report
+
+
+def _repair_upper_bound(
+    relation: Relation,
+    sigma: DiversityConstraint,
+    overage: int,
+    protected: set[int],
+) -> tuple[Relation, int, int]:
+    """Star σ's attributes for Rk QI-groups until the overage is gone.
+
+    Only groups fully outside ``protected`` (the RΣ tuples) are candidates,
+    and only σ's *QI* attributes can be starred (sensitive values are never
+    suppressed; starring any one attribute of the target combination breaks
+    the match).  Groups are taken in descending contribution order: each
+    suppression removes ``contribution`` occurrences at a cost of
+    ``|group| × |QI attrs of σ|`` stars, so big contributors first is the
+    greedy minimal-star choice.  Sufficient in the DIVA pipeline: Rk's total
+    contribution is at least the overage because RΣ alone satisfies
+    ``count ≤ λr`` (the coloring's consistency condition), and any σ with a
+    positive count has at least one suppressible QI attribute (all-non-QI
+    constraints are filtered by the feasibility precheck).
+    """
+    qi = set(relation.schema.qi_names)
+    star_attrs = [a for a in sigma.attrs if a in qi]
+    if not star_attrs:
+        return relation, 0, 0  # nothing suppressible; precheck guards this
+    groups = relation.qi_groups()
+    matching = sigma.target_tids(relation)
+    candidates = []
+    for key, tids in groups.items():
+        if tids & protected:
+            continue
+        contribution = len(tids & matching)
+        if contribution > 0:
+            candidates.append((contribution, sorted(tids)))
+    candidates.sort(key=lambda item: (-item[0], item[1]))
+
+    suppressed_groups = 0
+    cells = 0
+    to_star: list[tuple[int, str]] = []
+    remaining = overage
+    for contribution, tids in candidates:
+        if remaining <= 0:
+            break
+        for tid in tids:
+            for attr in star_attrs:
+                to_star.append((tid, attr))
+        cells += len(tids) * len(star_attrs)
+        suppressed_groups += 1
+        remaining -= contribution
+    repaired = relation.suppress_values(to_star)
+    return repaired, suppressed_groups, cells

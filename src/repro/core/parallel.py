@@ -1,0 +1,135 @@
+"""Component-parallel diverse clustering (the paper's future work, §6).
+
+The consistency conditions of the coloring search are local: a clustering
+choice can only invalidate constraints whose target tuples overlap, i.e.
+graph neighbours.  Constraints in different connected components of the
+constraint graph therefore never interact, and each component can be colored
+independently — the decomposition behind the distributed coloring the paper
+proposes as future work.
+
+``component_coloring`` colors each component with its own
+:class:`~repro.core.coloring.ColoringSearch` (optionally on a thread pool;
+the searches are independent, so correctness does not depend on the executor)
+and merges the per-component clusterings.  Results are identical to the
+monolithic search's feasibility: a coloring exists iff one exists per
+component.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Optional, Union
+
+import numpy as np
+
+from ..data.relation import Relation
+from .coloring import ColoringResult, ColoringSearch, SearchStats
+from .constraints import ConstraintSet
+from .graph import build_graph
+from .strategies import SelectionStrategy
+from .suppress import normalize_clustering
+
+
+def _solve_component(
+    subset: ConstraintSet,
+    relation: Relation,
+    k: int,
+    strategy,
+    max_candidates: int,
+    max_steps: Optional[int],
+    seed: int,
+) -> ColoringResult:
+    """Module-level worker so process pools can pickle the call."""
+    search = ColoringSearch(
+        relation,
+        subset,
+        k,
+        strategy=strategy,
+        max_candidates=max_candidates,
+        max_steps=max_steps,
+        rng=np.random.default_rng(seed),
+    )
+    return search.run()
+
+
+def component_coloring(
+    relation: Relation,
+    constraints: ConstraintSet,
+    k: int,
+    strategy: Union[str, SelectionStrategy] = "maxfanout",
+    max_candidates: int = 64,
+    max_steps: Optional[int] = None,
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
+) -> ColoringResult:
+    """Color each connected component independently and merge.
+
+    ``max_workers=None`` runs components sequentially; any positive value
+    uses a pool of that size — ``executor="thread"`` (default, cheap to
+    spawn) or ``executor="process"`` (true parallelism; requires a
+    picklable strategy, i.e. a name rather than an instance).  The merged
+    result reports combined search statistics.
+    """
+    if executor not in ("thread", "process"):
+        raise ValueError("executor must be 'thread' or 'process'")
+    graph = build_graph(relation, constraints)
+    components = graph.connected_components()
+    subsets = [
+        ConstraintSet(graph.node(i).constraint for i in component)
+        for component in components
+    ]
+    solve = partial(
+        _solve_component,
+        relation=relation,
+        k=k,
+        strategy=strategy,
+        max_candidates=max_candidates,
+        max_steps=max_steps,
+        seed=seed,
+    )
+
+    if max_workers is None or max_workers <= 1 or len(components) <= 1:
+        results = [solve(s) for s in subsets]
+    elif executor == "process":
+        if not isinstance(strategy, str):
+            raise ValueError(
+                "process executor needs a strategy name, not an instance"
+            )
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(solve, subsets))
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(solve, subsets))
+
+    merged_stats = SearchStats()
+    merged_assignment: dict[int, tuple] = {}
+    clusters: list = []
+    satisfied: list = []
+    for component, result in zip(components, results):
+        merged_stats.nodes_expanded += result.stats.nodes_expanded
+        merged_stats.candidates_tried += result.stats.candidates_tried
+        merged_stats.backtracks += result.stats.backtracks
+        merged_stats.consistency_checks += result.stats.consistency_checks
+        if not result.success:
+            return ColoringResult(False, stats=merged_stats)
+        # Per-component searches number nodes locally; remap to global.
+        for local_index, clustering in result.assignment.items():
+            merged_assignment[component[local_index]] = clustering
+        satisfied.extend(result.satisfied)
+        clusters.extend(result.clustering)
+
+    unique = []
+    seen = set()
+    for cluster in clusters:
+        if cluster not in seen:
+            seen.add(cluster)
+            unique.append(cluster)
+    return ColoringResult(
+        True,
+        assignment=merged_assignment,
+        clustering=normalize_clustering(unique),
+        satisfied=tuple(satisfied),
+        stats=merged_stats,
+    )

@@ -1,0 +1,123 @@
+"""The (k, Σ)-anonymization problem (paper Definition 2.4).
+
+A problem instance bundles the relation, the privacy parameter k and the
+diversity constraints Σ, with feasibility pre-checks and a validator for
+candidate solutions.  The validator is the executable form of the problem
+statement: ``R ⊑ R*``, ``R*`` is k-anonymous, ``R* |= Σ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.relation import Relation, generalizes
+from .constraints import ConstraintSet, DiversityConstraint
+
+
+@dataclass(frozen=True)
+class InfeasibleConstraint:
+    """Why a constraint cannot possibly be satisfied for this (R, k)."""
+
+    constraint: DiversityConstraint
+    reason: str
+
+
+class KSigmaProblem:
+    """An instance of the (k, Σ)-anonymization problem."""
+
+    def __init__(self, relation: Relation, constraints: ConstraintSet, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if k > len(relation) and len(relation) > 0:
+            raise ValueError(
+                f"k={k} exceeds the relation size {len(relation)}"
+            )
+        constraints.validate_against(relation.schema)
+        self.relation = relation
+        self.constraints = constraints
+        self.k = k
+
+    def infeasible_constraints(self) -> list[InfeasibleConstraint]:
+        """Constraints that no k-anonymous suppression of R can satisfy.
+
+        Necessary conditions per constraint σ:
+
+        * ``count(R) ≥ λl`` — suppression never creates occurrences;
+        * for σ touching QI attributes with λl > 0: ``|Iσ| ≥ max(k, λl)``
+          (preserving λl occurrences needs a cluster of ≥ k target tuples)
+          and ``λr ≥ k`` (a preserved QI-group contributes its full size);
+        * for σ over only non-QI attributes: ``count(R) ≤ λr`` too, since
+          suppression cannot remove non-QI occurrences at all.
+        """
+        qi = set(self.relation.schema.qi_names)
+        problems = []
+        for sigma in self.constraints:
+            touches_qi = any(a in qi for a in sigma.attrs)
+            n_targets = len(sigma.target_tids(self.relation))
+            if not touches_qi:
+                if not sigma.lower <= n_targets <= sigma.upper:
+                    problems.append(
+                        InfeasibleConstraint(
+                            sigma,
+                            f"targets only non-QI attributes, whose count "
+                            f"({n_targets}) is fixed by suppression and lies "
+                            f"outside [{sigma.lower}, {sigma.upper}]",
+                        )
+                    )
+                continue
+            if sigma.lower == 0:
+                continue
+            needed = max(self.k, sigma.lower)
+            if n_targets < needed:
+                problems.append(
+                    InfeasibleConstraint(
+                        sigma,
+                        f"only {n_targets} target tuples but a cluster of "
+                        f"{needed} is required",
+                    )
+                )
+            elif sigma.upper < self.k:
+                problems.append(
+                    InfeasibleConstraint(
+                        sigma,
+                        f"upper bound {sigma.upper} below k={self.k}: any "
+                        "preserved QI-group overshoots it",
+                    )
+                )
+        return problems
+
+    def is_feasible(self) -> bool:
+        """Necessary-condition check (cheap; not sufficient)."""
+        return not self.infeasible_constraints()
+
+    def validate_solution(self, candidate: Relation) -> list[str]:
+        """All ways ``candidate`` fails Definition 2.4 (empty = valid).
+
+        Checks (1) ``R ⊑ R*``; (2) k-anonymity; (3) ``R* |= Σ``.  Condition
+        (4), minimality, is an optimization objective rather than a
+        pass/fail property, so it is reported via metrics instead.
+        """
+        failures = []
+        if not generalizes(self.relation, candidate):
+            failures.append(
+                "candidate is not a suppression of the original relation "
+                "(R ⊑ R* fails)"
+            )
+        for key, tids in candidate.qi_groups().items():
+            if len(tids) < self.k:
+                failures.append(
+                    f"QI-group of size {len(tids)} violates k={self.k}"
+                )
+                break
+        for sigma, count in self.constraints.violations(candidate):
+            failures.append(
+                f"constraint {sigma!r} violated: count={count} outside "
+                f"[{sigma.lower}, {sigma.upper}]"
+            )
+        return failures
+
+    def __repr__(self) -> str:
+        return (
+            f"KSigmaProblem(|R|={len(self.relation)}, k={self.k}, "
+            f"|Σ|={len(self.constraints)})"
+        )

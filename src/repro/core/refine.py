@@ -1,0 +1,126 @@
+"""Local-search refinement of clusterings for suppression minimality.
+
+The (k, Σ)-anonymization objective asks for a *minimum* number of ★s
+(Definition 2.4, condition 4).  DIVA's phases are greedy; this module adds a
+post-pass that polishes a clustering by relocating single tuples between
+clusters whenever the move strictly reduces the total suppression cost,
+while every cluster keeps at least k members.  Moves never split or merge
+clusters, so the QI-group structure (and hence k-anonymity) is preserved.
+
+``refine_result`` applies the polish to a DIVA result: only the
+Anonymize-phase clusters (Rk) are touched — the diversity clusters of RΣ
+encode Σ's lower bounds and stay frozen — and the Integrate repair is re-run
+afterwards, since restoring suppressed values can re-expose an upper bound.
+
+This is the standard first-improvement hill climbing used by local-recoding
+anonymizers; it terminates because the total cost strictly decreases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+from ..data.relation import Relation
+
+
+def _cluster_cost(qi_rows: dict[int, tuple], cluster: set[int]) -> int:
+    """Stars incurred by suppressing ``cluster`` (varying attrs × size)."""
+    if not cluster:
+        return 0
+    rows = [qi_rows[tid] for tid in cluster]
+    varying = sum(1 for column in zip(*rows) if len(set(column)) > 1)
+    return varying * len(rows)
+
+
+def refine_clusters(
+    relation: Relation,
+    clusters: Iterable[Iterable[int]],
+    k: int,
+    max_rounds: Optional[int] = 10,
+) -> tuple[list[set[int]], int]:
+    """Hill-climb single-tuple moves between clusters to shed stars.
+
+    Returns the refined clusters and the number of stars saved.  Donors
+    must stay at size ≥ k, so clusters at exactly k never give up tuples.
+    ``max_rounds`` bounds full passes (each is O(n × #clusters) cost
+    evaluations); passes stop early at a local optimum.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    working = [set(c) for c in clusters]
+    for cluster in working:
+        if len(cluster) < k:
+            raise ValueError(f"cluster of size {len(cluster)} violates k={k}")
+    schema = relation.schema
+    qi_positions = [schema.position(a) for a in schema.qi_names]
+    qi_rows = {
+        tid: tuple(relation.row(tid)[p] for p in qi_positions)
+        for cluster in working
+        for tid in cluster
+    }
+    costs = [_cluster_cost(qi_rows, c) for c in working]
+    saved = 0
+    rounds = 0
+    improved = True
+    while improved and (max_rounds is None or rounds < max_rounds):
+        rounds += 1
+        improved = False
+        for donor_index, donor in enumerate(working):
+            if len(donor) <= k:
+                continue
+            for tid in list(donor):
+                donor_without = donor - {tid}
+                donor_new_cost = _cluster_cost(qi_rows, donor_without)
+                base_delta = donor_new_cost - costs[donor_index]
+                best = None  # (total_delta, target_index, target_new_cost)
+                for target_index, target in enumerate(working):
+                    if target_index == donor_index:
+                        continue
+                    target_new_cost = _cluster_cost(qi_rows, target | {tid})
+                    delta = base_delta + (target_new_cost - costs[target_index])
+                    if delta < 0 and (best is None or delta < best[0]):
+                        best = (delta, target_index, target_new_cost)
+                if best is not None:
+                    delta, target_index, target_new_cost = best
+                    donor.discard(tid)
+                    working[target_index].add(tid)
+                    costs[donor_index] = donor_new_cost
+                    costs[target_index] = target_new_cost
+                    saved -= delta
+                    improved = True
+                    if len(donor) <= k:
+                        break
+    return working, saved
+
+
+def refine_result(result, relation: Relation, k: int) -> tuple[Relation, int]:
+    """Polish a :class:`~repro.core.diva.DivaResult` and return the new R′.
+
+    Rebuilds Rk's clusters from the original tuples, hill-climbs them (RΣ
+    stays frozen), re-suppresses, and re-runs Integrate against the
+    satisfied constraints — restoring previously starred values can push a
+    count back above its λr, and the repair keeps the output sound.
+    Returns the refined relation and the net stars saved (which can be
+    smaller than the raw hill-climbing gain if Integrate had to re-repair,
+    but never negative: the original relation is kept when no net gain
+    remains).
+    """
+    from .constraints import ConstraintSet
+    from .integrate import integrate
+    from .suppress import suppress
+
+    if result.r_k is None or len(result.r_k) == 0:
+        return result.relation, 0
+    rk_groups = [set(tids) for tids in result.r_k.qi_groups().values()]
+    refined, raw_saved = refine_clusters(relation, rk_groups, k)
+    if raw_saved == 0:
+        return result.relation, 0
+    new_rk = suppress(relation.restrict(result.r_k.tids), refined)
+    final, _report = integrate(
+        result.r_sigma, new_rk, ConstraintSet(result.satisfied)
+    )
+    net_saved = result.relation.star_count() - final.star_count()
+    if net_saved <= 0:
+        return result.relation, 0
+    return final, net_saved

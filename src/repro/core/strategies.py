@@ -1,0 +1,122 @@
+"""Node/clustering selection strategies for the coloring search.
+
+The paper proposes three DIVA variants differing only in how ``NextNode``
+picks the next uncolored constraint and how candidate clusterings are
+ordered (Section 3.3, "Selection Strategies"):
+
+* **Basic** — picks a random uncolored node, tries clusterings in random
+  order.  Simple, but poor early picks trigger deep backtracking and the
+  runtime grows super-linearly in |Σ| (Figure 4a).
+* **MinChoice** — picks the most restrictive constraint first: the node with
+  the minimum number of *currently consistent* candidate clusterings
+  (re-counted as neighbours get colored, per the paper's "we update the
+  candidate clusterings for their neighbors").
+* **MaxFanOut** — picks the node with the maximum number of uncolored
+  neighbours, pruning unsatisfiable clusterings early where constraint
+  interaction is densest.
+
+Note: the paper's overview sentence swaps the two heuristics' descriptions;
+we follow the detailed "Selection Strategies" paragraph, whose semantics
+match the names.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+from typing import Optional
+
+import numpy as np
+
+Clustering = tuple  # tuple[frozenset, ...]
+
+
+class SelectionStrategy(abc.ABC):
+    """Chooses the next node to color and orders its candidate clusterings."""
+
+    name: str = "abstract"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @abc.abstractmethod
+    def next_node(
+        self,
+        uncolored: Sequence[int],
+        graph,
+        colored: frozenset,
+        consistent_count: Callable[[int], int],
+    ) -> int:
+        """Pick the next node to color.
+
+        ``uncolored`` is sorted node indices; ``graph`` is the
+        :class:`~repro.core.graph.ConstraintGraph`; ``colored`` the indices
+        already assigned; ``consistent_count(i)`` lazily counts node ``i``'s
+        candidate clusterings still consistent with the current assignment.
+        """
+
+    def order_clusterings(self, candidates: Sequence[Clustering]) -> list[Clustering]:
+        """Order in which to try a node's candidate clusterings.
+
+        Default: keep the enumeration order (ascending suppression cost).
+        """
+        return list(candidates)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BasicStrategy(SelectionStrategy):
+    """DIVA-Basic: random node, random clustering order."""
+
+    name = "basic"
+
+    def next_node(self, uncolored, graph, colored, consistent_count) -> int:
+        return int(self.rng.choice(list(uncolored)))
+
+    def order_clusterings(self, candidates):
+        ordered = list(candidates)
+        self.rng.shuffle(ordered)
+        return ordered
+
+
+class MinChoiceStrategy(SelectionStrategy):
+    """Most restrictive constraint first (fewest consistent clusterings)."""
+
+    name = "minchoice"
+
+    def next_node(self, uncolored, graph, colored, consistent_count) -> int:
+        return min(uncolored, key=lambda i: (consistent_count(i), i))
+
+
+class MaxFanOutStrategy(SelectionStrategy):
+    """Most-interacting constraint first (most uncolored neighbours)."""
+
+    name = "maxfanout"
+
+    def next_node(self, uncolored, graph, colored, consistent_count) -> int:
+        pending = set(uncolored)
+
+        def fan_out(i: int) -> int:
+            return len(graph.neighbors(i) & pending)
+
+        return max(uncolored, key=lambda i: (fan_out(i), -i))
+
+
+STRATEGIES: dict[str, type[SelectionStrategy]] = {
+    BasicStrategy.name: BasicStrategy,
+    MinChoiceStrategy.name: MinChoiceStrategy,
+    MaxFanOutStrategy.name: MaxFanOutStrategy,
+}
+
+
+def make_strategy(
+    name: str, rng: Optional[np.random.Generator] = None
+) -> SelectionStrategy:
+    """Instantiate a strategy by name (``basic``/``minchoice``/``maxfanout``)."""
+    try:
+        cls = STRATEGIES[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown strategy {name!r}; expected one of {valid}")
+    return cls(rng)

@@ -1,0 +1,74 @@
+"""Suppression of clusterings into QI-groups (paper Algorithm 2).
+
+A *clustering* is a collection of disjoint clusters, each a set of tuple ids
+over some relation.  ``suppress`` uniformizes every cluster along the QI
+attributes: any QI attribute on which the cluster's tuples disagree is
+replaced by STAR for the whole cluster, so each cluster becomes one QI-group
+of the output relation.  Sensitive and insensitive values are untouched.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..data.relation import STAR, Relation
+
+Cluster = frozenset
+Clustering = tuple
+
+
+def normalize_clustering(clusters: Iterable[Iterable[int]]) -> tuple[frozenset, ...]:
+    """Canonical form: a sorted tuple of frozensets of tids.
+
+    Raises ``ValueError`` on empty clusters or overlapping clusters — a
+    clustering must partition the tuples it covers.
+    """
+    normd = tuple(
+        sorted((frozenset(c) for c in clusters), key=lambda c: sorted(c))
+    )
+    seen: set[int] = set()
+    for cluster in normd:
+        if not cluster:
+            raise ValueError("clustering contains an empty cluster")
+        if seen & cluster:
+            raise ValueError("clusters overlap; a clustering must be disjoint")
+        seen |= cluster
+    return normd
+
+
+def covered_tids(clusters: Iterable[Iterable[int]]) -> set[int]:
+    """All tuple ids mentioned by a clustering."""
+    out: set[int] = set()
+    for c in clusters:
+        out |= set(c)
+    return out
+
+
+def suppress(relation: Relation, clusters: Iterable[Iterable[int]]) -> Relation:
+    """Algorithm 2: suppress each cluster into a QI-group.
+
+    Returns the sub-relation of ``relation`` covering exactly the clustered
+    tuples, with every QI attribute on which a cluster disagrees starred out
+    for that whole cluster.  Tuple ids are preserved.
+    """
+    clustering = normalize_clustering(clusters)
+    schema = relation.schema
+    qi_positions = [schema.position(a) for a in schema.qi_names]
+    replacements: dict[int, tuple] = {}
+    for cluster in clustering:
+        rows = {tid: list(relation.row(tid)) for tid in cluster}
+        for pos in qi_positions:
+            values = {tuple_row[pos] for tuple_row in rows.values()}
+            if len(values) > 1:
+                for tuple_row in rows.values():
+                    tuple_row[pos] = STAR
+        for tid, tuple_row in rows.items():
+            replacements[tid] = tuple(tuple_row)
+    base = relation.restrict(covered_tids(clustering))
+    return base.replace_rows(replacements)
+
+
+def min_cluster_size(clusters: Iterable[Iterable[int]]) -> int:
+    """Size of the smallest cluster (0 for an empty clustering)."""
+    sizes = [len(set(c)) for c in clusters]
+    return min(sizes) if sizes else 0

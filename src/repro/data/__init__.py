@@ -1,0 +1,43 @@
+"""Relational data substrate: schemas, relations, datasets, persistence."""
+
+from .datasets import (
+    DATASETS,
+    load_dataset,
+    make_census,
+    make_credit,
+    make_pantheon,
+    make_popsyn,
+    make_running_example,
+)
+from .distributions import DISTRIBUTIONS, sample_values
+from .loaders import load_relation, save_relation
+from .relation import (
+    STAR,
+    Attribute,
+    AttributeKind,
+    Relation,
+    Schema,
+    generalizes,
+    is_star,
+)
+
+__all__ = [
+    "STAR",
+    "Attribute",
+    "AttributeKind",
+    "Relation",
+    "Schema",
+    "generalizes",
+    "is_star",
+    "DATASETS",
+    "DISTRIBUTIONS",
+    "sample_values",
+    "load_dataset",
+    "make_census",
+    "make_credit",
+    "make_pantheon",
+    "make_popsyn",
+    "make_running_example",
+    "load_relation",
+    "save_relation",
+]

@@ -1,0 +1,306 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets.
+
+The paper evaluates on Pantheon [1], US Census and German Credit (UCI [3]),
+and a Synner.io-generated synthetic population (Pop-Syn).  None of these can
+be downloaded in this offline environment, so each generator below produces a
+relation whose *shape* matches Table 4 of the paper: the same attribute
+count, realistic categorical domains with correlated geography, and a QI
+projection cardinality in the right regime.  Row counts default to
+laptop-scale values and every generator takes ``n_rows`` so the benchmarks can
+sweep |R| (Figures 5c/5d) — the paper's claims are about relative trends, not
+absolute wall-clock on the authors' 32-core server.
+
+All generators are deterministic given ``seed``.
+
+Dataset characteristics targeted (paper Table 4):
+
+==========  =======  ===  =========
+dataset     |R|      n    |ΠQI(R)|
+==========  =======  ===  =========
+Pantheon    11,341   17   5,636
+Census      299,285  40   12,405
+Credit      1,000    20   60
+Pop-Syn     100,000  7    24,630
+==========  =======  ===  =========
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .distributions import gaussian_values, numeric_ages, sample_values
+from .relation import Relation, Schema
+
+# Shared geographic domains (Canadian, echoing the paper's running example).
+PROVINCES = {
+    "AB": ["Calgary", "Edmonton", "Red Deer"],
+    "BC": ["Vancouver", "Victoria", "Kelowna"],
+    "MB": ["Winnipeg", "Brandon"],
+    "ON": ["Toronto", "Ottawa", "Hamilton", "London"],
+    "QC": ["Montreal", "Quebec City"],
+    "SK": ["Saskatoon", "Regina"],
+}
+
+ETHNICITIES = ["Caucasian", "Asian", "African", "Hispanic", "Indigenous", "MiddleEastern"]
+GENDERS = ["Female", "Male"]
+DIAGNOSES = [
+    "Hypertension", "Tuberculosis", "Osteoarthritis", "Migraine",
+    "Seizure", "Influenza", "Diabetes", "Asthma", "Anemia", "Depression",
+]
+
+
+def _geography(rng: np.random.Generator, size: int) -> tuple[list, list]:
+    """Correlated (province, city) pairs: city is drawn within province."""
+    provinces = list(PROVINCES)
+    prv_idx = rng.choice(len(provinces), size=size)
+    prv = [provinces[i] for i in prv_idx]
+    cty = [PROVINCES[p][rng.integers(0, len(PROVINCES[p]))] for p in prv]
+    return prv, cty
+
+
+def make_popsyn(
+    seed: int = 0,
+    n_rows: int = 5_000,
+    distribution: str = "uniform",
+) -> Relation:
+    """Synthetic population (the paper's Pop-Syn, built with Synner.io).
+
+    7 attributes.  The characteristic attributes GEN/ETH/PRV/CTY are drawn
+    from the named ``distribution`` (``uniform`` / ``zipfian`` /
+    ``gaussian``), which is the knob Figure 4d varies.  DIAG is sensitive.
+    """
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_names(
+        qi=["GEN", "ETH", "AGE", "PRV", "CTY", "OCC"],
+        sensitive=["DIAG"],
+        numeric=["AGE"],
+    )
+    gen = sample_values(distribution, rng, GENDERS, n_rows)
+    eth = sample_values(distribution, rng, ETHNICITIES, n_rows)
+    age = numeric_ages(rng, n_rows)
+    provinces = list(PROVINCES)
+    prv = sample_values(distribution, rng, provinces, n_rows)
+    cty = [PROVINCES[p][rng.integers(0, len(PROVINCES[p]))] for p in prv]
+    occupations = ["Clerk", "Nurse", "Teacher", "Engineer", "Farmer", "Retail", "Driver"]
+    occ = sample_values(distribution, rng, occupations, n_rows)
+    diag = sample_values("uniform", rng, DIAGNOSES, n_rows)
+    rows = zip(gen, eth, age, prv, cty, occ, diag)
+    return Relation(schema, rows)
+
+
+def make_pantheon(seed: int = 0, n_rows: int = 2_000) -> Relation:
+    """Pantheon-like relation: notable individuals on Wikipedia.
+
+    17 attributes; QI attributes cover demographics and geography, the
+    popularity index is sensitive, and editorial metadata is insensitive.
+    Occupation hierarchies (domain → industry → occupation) are correlated
+    so the QI projection is large but far from |R| (Table 4: 5,636/11,341).
+    """
+    rng = np.random.default_rng(seed)
+    domains = {
+        "ARTS": ["MUSIC", "FILM", "DESIGN"],
+        "SCIENCE": ["PHYSICS", "BIOLOGY", "MATH"],
+        "SPORTS": ["TEAM SPORTS", "INDIVIDUAL SPORTS"],
+        "GOVERNANCE": ["GOVERNMENT", "MILITARY"],
+        "HUMANITIES": ["LANGUAGE", "PHILOSOPHY", "HISTORY"],
+    }
+    occupations = {
+        "MUSIC": ["SINGER", "COMPOSER"], "FILM": ["ACTOR", "DIRECTOR"],
+        "DESIGN": ["ARCHITECT", "DESIGNER"], "PHYSICS": ["PHYSICIST"],
+        "BIOLOGY": ["BIOLOGIST", "PHYSICIAN"], "MATH": ["MATHEMATICIAN"],
+        "TEAM SPORTS": ["SOCCER PLAYER", "HOCKEY PLAYER"],
+        "INDIVIDUAL SPORTS": ["TENNIS PLAYER", "BOXER"],
+        "GOVERNMENT": ["POLITICIAN", "DIPLOMAT"], "MILITARY": ["OFFICER"],
+        "LANGUAGE": ["WRITER", "POET"], "PHILOSOPHY": ["PHILOSOPHER"],
+        "HISTORY": ["HISTORIAN"],
+    }
+    continents = {
+        "Europe": ["France", "Germany", "Italy", "UK", "Spain"],
+        "Americas": ["USA", "Canada", "Brazil", "Mexico"],
+        "Asia": ["China", "Japan", "India", "Iran"],
+        "Africa": ["Egypt", "Nigeria", "SouthAfrica"],
+        "Oceania": ["Australia"],
+    }
+    schema = Schema.from_names(
+        qi=[
+            "GEN", "CONTINENT", "COUNTRY", "CITY", "DOMAIN", "INDUSTRY",
+            "OCC", "BIRTH_ERA", "BIRTH_YEAR", "ALIVE",
+        ],
+        sensitive=["HPI_BAND"],
+        insensitive=[
+            "ARTICLE_LANGS", "PAGE_VIEWS_BAND", "EFFECTIVENESS_BAND",
+            "CURATED", "SOURCE", "VERSION",
+        ],
+        numeric=["BIRTH_YEAR", "ARTICLE_LANGS"],
+    )
+    cont_names = list(continents)
+    records = []
+    for _ in range(n_rows):
+        gen = GENDERS[rng.integers(0, 2)] if rng.random() > 0.02 else "Other"
+        cont = cont_names[rng.choice(len(cont_names), p=[0.42, 0.28, 0.18, 0.08, 0.04])]
+        country = continents[cont][rng.integers(0, len(continents[cont]))]
+        city = f"{country}-C{rng.integers(1, 6)}"
+        dom = list(domains)[rng.integers(0, len(domains))]
+        ind = domains[dom][rng.integers(0, len(domains[dom]))]
+        occ = occupations[ind][rng.integers(0, len(occupations[ind]))]
+        year = int(rng.choice([1500, 1700, 1800, 1850, 1900, 1930, 1950, 1970])
+                   + rng.integers(0, 30))
+        era = "PRE-1900" if year < 1900 else "MODERN"
+        alive = "Y" if year > 1940 and rng.random() < 0.6 else "N"
+        records.append({
+            "GEN": gen, "CONTINENT": cont, "COUNTRY": country, "CITY": city,
+            "DOMAIN": dom, "INDUSTRY": ind, "OCC": occ, "BIRTH_ERA": era,
+            "BIRTH_YEAR": year, "ALIVE": alive,
+            "HPI_BAND": f"HPI{int(rng.integers(1, 6))}",
+            "ARTICLE_LANGS": int(rng.integers(1, 200)),
+            "PAGE_VIEWS_BAND": f"PV{int(rng.integers(1, 5))}",
+            "EFFECTIVENESS_BAND": f"EF{int(rng.integers(1, 4))}",
+            "CURATED": "Y" if rng.random() < 0.5 else "N",
+            "SOURCE": "wikipedia", "VERSION": "2014",
+        })
+    return Relation.from_dicts(schema, records)
+
+
+def make_census(seed: int = 0, n_rows: int = 3_000) -> Relation:
+    """US-Census-like relation (40 attributes).
+
+    Nine demographic QI attributes and an income band as the sensitive
+    attribute; the remaining thirty survey columns are insensitive filler
+    with small domains, mirroring the USCensus1990 extract's width.
+    """
+    rng = np.random.default_rng(seed)
+    workclass = ["Private", "SelfEmp", "Federal", "State", "Local", "Unemployed"]
+    education = ["HS", "SomeCollege", "Bachelors", "Masters", "Doctorate", "LessHS"]
+    marital = ["Married", "NeverMarried", "Divorced", "Widowed", "Separated"]
+    occupation = [
+        "Tech", "Craft", "Sales", "Admin", "Service",
+        "Managerial", "Farming", "Transport", "Protective",
+    ]
+    races = ["White", "Black", "AsianPacific", "AmerIndian", "Other"]
+    states = ["CA", "TX", "NY", "FL", "IL", "PA", "OH", "MI", "GA", "NC"]
+    incomes = ["<=25K", "25-50K", "50-75K", "75-100K", ">100K"]
+    filler_names = [f"SVAR{i:02d}" for i in range(30)]
+    schema = Schema.from_names(
+        qi=[
+            "AGE", "SEX", "RACE", "MARITAL", "EDU", "OCC", "WORKCLASS",
+            "STATE", "CITIZEN",
+        ],
+        sensitive=["INCOME"],
+        insensitive=filler_names,
+        numeric=["AGE"],
+    )
+    records = []
+    age = numeric_ages(rng, n_rows)
+    for i in range(n_rows):
+        rec = {
+            "AGE": age[i],
+            "SEX": GENDERS[rng.integers(0, 2)],
+            "RACE": races[rng.choice(len(races), p=[0.62, 0.13, 0.12, 0.05, 0.08])],
+            "MARITAL": marital[rng.integers(0, len(marital))],
+            "EDU": education[rng.integers(0, len(education))],
+            "OCC": occupation[rng.integers(0, len(occupation))],
+            "WORKCLASS": workclass[rng.integers(0, len(workclass))],
+            "STATE": states[rng.integers(0, len(states))],
+            "CITIZEN": "Y" if rng.random() < 0.88 else "N",
+            "INCOME": incomes[rng.choice(len(incomes), p=[0.3, 0.3, 0.2, 0.12, 0.08])],
+        }
+        for name in filler_names:
+            rec[name] = int(rng.integers(0, 4))
+        records.append(rec)
+    return Relation.from_dicts(schema, records)
+
+
+def make_credit(seed: int = 0, n_rows: int = 1_000) -> Relation:
+    """German-Credit-like relation (20 attributes, |R| = 1,000).
+
+    Matches the UCI schema: small categorical domains throughout, hence the
+    tiny QI projection (Table 4: 60 distinct QI combinations).  RISK is the
+    sensitive attribute.
+    """
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_names(
+        qi=["AGE_BAND", "SEX", "JOB", "HOUSING", "FOREIGN"],
+        sensitive=["RISK"],
+        insensitive=[
+            "STATUS", "DURATION_BAND", "HISTORY", "PURPOSE", "AMOUNT_BAND",
+            "SAVINGS", "EMPLOYMENT", "RATE", "DEBTORS", "RESIDENCE",
+            "PROPERTY", "OTHER_PLANS", "EXISTING", "TELEPHONE",
+        ],
+    )
+    age_bands = ["18-30", "31-45", "46-60", "60+"]
+    jobs = ["Unskilled", "Skilled", "Management"]
+    housing = ["Own", "Rent", "Free"]
+    purposes = ["Car", "Furniture", "Radio/TV", "Education", "Business", "Repairs"]
+    records = []
+    for _ in range(n_rows):
+        records.append({
+            "AGE_BAND": age_bands[rng.choice(4, p=[0.35, 0.35, 0.2, 0.1])],
+            "SEX": GENDERS[rng.integers(0, 2)],
+            "JOB": jobs[rng.choice(3, p=[0.2, 0.63, 0.17])],
+            "HOUSING": housing[rng.choice(3, p=[0.71, 0.18, 0.11])],
+            "FOREIGN": "Y" if rng.random() < 0.04 else "N",
+            "RISK": "Bad" if rng.random() < 0.3 else "Good",
+            "STATUS": f"A1{int(rng.integers(1, 5))}",
+            "DURATION_BAND": ["<12", "12-24", "24-48", "48+"][rng.integers(0, 4)],
+            "HISTORY": f"A3{int(rng.integers(0, 5))}",
+            "PURPOSE": purposes[rng.integers(0, len(purposes))],
+            "AMOUNT_BAND": ["<2K", "2-5K", "5-10K", "10K+"][rng.integers(0, 4)],
+            "SAVINGS": f"A6{int(rng.integers(1, 6))}",
+            "EMPLOYMENT": f"A7{int(rng.integers(1, 6))}",
+            "RATE": int(rng.integers(1, 5)),
+            "DEBTORS": f"A10{int(rng.integers(1, 4))}",
+            "RESIDENCE": int(rng.integers(1, 5)),
+            "PROPERTY": f"A12{int(rng.integers(1, 5))}",
+            "OTHER_PLANS": f"A14{int(rng.integers(1, 4))}",
+            "EXISTING": int(rng.integers(1, 4)),
+            "TELEPHONE": "Y" if rng.random() < 0.4 else "N",
+        })
+    return Relation.from_dicts(schema, records)
+
+
+def make_running_example() -> Relation:
+    """Table 1 of the paper: the ten-tuple medical-records relation.
+
+    Used throughout the tests and the quickstart example; tids are 1..10
+    matching the paper's t1..t10.
+    """
+    schema = Schema.from_names(
+        qi=["GEN", "ETH", "AGE", "PRV", "CTY"],
+        sensitive=["DIAG"],
+        numeric=["AGE"],
+    )
+    rows = [
+        ("Female", "Caucasian", 80, "AB", "Calgary", "Hypertension"),
+        ("Female", "Caucasian", 32, "AB", "Calgary", "Tuberculosis"),
+        ("Male", "Caucasian", 59, "AB", "Calgary", "Osteoarthritis"),
+        ("Male", "Caucasian", 46, "MB", "Winnipeg", "Migraine"),
+        ("Male", "African", 32, "MB", "Winnipeg", "Hypertension"),
+        ("Male", "African", 43, "BC", "Vancouver", "Seizure"),
+        ("Male", "Caucasian", 35, "BC", "Vancouver", "Hypertension"),
+        ("Female", "Asian", 58, "BC", "Vancouver", "Seizure"),
+        ("Female", "Asian", 63, "MB", "Winnipeg", "Influenza"),
+        ("Female", "Asian", 71, "BC", "Vancouver", "Migraine"),
+    ]
+    return Relation(schema, rows, tids=range(1, 11))
+
+
+DATASETS = {
+    "pantheon": make_pantheon,
+    "census": make_census,
+    "credit": make_credit,
+    "popsyn": make_popsyn,
+}
+
+
+def load_dataset(name: str, seed: int = 0, n_rows: Optional[int] = None, **kwargs) -> Relation:
+    """Build one of the four evaluation datasets by name."""
+    try:
+        fn = DATASETS[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(DATASETS))
+        raise ValueError(f"unknown dataset {name!r}; expected one of {valid}")
+    if n_rows is not None:
+        kwargs["n_rows"] = n_rows
+    return fn(seed=seed, **kwargs)

@@ -1,0 +1,101 @@
+"""Categorical value samplers for the synthetic datasets.
+
+The paper's Pop-Syn experiments (Figure 4d) generate characteristic-attribute
+values under Zipfian, uniform, and Gaussian distributions.  This module
+provides those three samplers over arbitrary finite categorical domains, plus
+a small registry so benchmark code can select a distribution by name.
+
+All samplers draw from a :class:`numpy.random.Generator` so experiments are
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any, Callable
+
+import numpy as np
+
+DistributionFn = Callable[[np.random.Generator, Sequence[Any], int], list]
+
+
+def uniform_values(
+    rng: np.random.Generator, domain: Sequence[Any], size: int
+) -> list:
+    """Sample ``size`` values uniformly from ``domain``."""
+    if not domain:
+        raise ValueError("domain must be non-empty")
+    idx = rng.integers(0, len(domain), size=size)
+    return [domain[i] for i in idx]
+
+
+def zipfian_values(
+    rng: np.random.Generator,
+    domain: Sequence[Any],
+    size: int,
+    exponent: float = 1.2,
+) -> list:
+    """Sample values with Zipf-distributed ranks over ``domain``.
+
+    The i-th domain value (0-based rank) has probability proportional to
+    ``1 / (i + 1) ** exponent`` — a heavy skew toward early domain values,
+    which is the contention-inducing case in Figure 4d.
+    """
+    if not domain:
+        raise ValueError("domain must be non-empty")
+    if exponent <= 0:
+        raise ValueError("zipf exponent must be positive")
+    ranks = np.arange(1, len(domain) + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    weights /= weights.sum()
+    idx = rng.choice(len(domain), size=size, p=weights)
+    return [domain[i] for i in idx]
+
+
+def gaussian_values(
+    rng: np.random.Generator,
+    domain: Sequence[Any],
+    size: int,
+    spread: float = 0.18,
+) -> list:
+    """Sample values with a discretized Gaussian over domain ranks.
+
+    Ranks are drawn from a normal centred at the middle of the domain with
+    standard deviation ``spread * len(domain)`` and clipped to valid ranks.
+    Mid-domain values are common; extreme values are rare.
+    """
+    if not domain:
+        raise ValueError("domain must be non-empty")
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    center = (len(domain) - 1) / 2.0
+    raw = rng.normal(loc=center, scale=spread * len(domain), size=size)
+    idx = np.clip(np.rint(raw), 0, len(domain) - 1).astype(int)
+    return [domain[i] for i in idx]
+
+
+DISTRIBUTIONS: dict[str, DistributionFn] = {
+    "uniform": uniform_values,
+    "zipfian": zipfian_values,
+    "gaussian": gaussian_values,
+}
+
+
+def sample_values(
+    name: str, rng: np.random.Generator, domain: Sequence[Any], size: int
+) -> list:
+    """Sample by distribution name (``uniform``, ``zipfian``, ``gaussian``)."""
+    try:
+        fn = DISTRIBUTIONS[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(DISTRIBUTIONS))
+        raise ValueError(f"unknown distribution {name!r}; expected one of {valid}")
+    return fn(rng, domain, size)
+
+
+def numeric_ages(
+    rng: np.random.Generator, size: int, low: int = 18, high: int = 90
+) -> list[int]:
+    """Plausible integer ages: a clipped normal centred at 45."""
+    raw = rng.normal(loc=45, scale=16, size=size)
+    return [int(v) for v in np.clip(np.rint(raw), low, high)]

@@ -1,0 +1,152 @@
+"""Ready-made generalization hierarchies for the bundled datasets.
+
+Full-domain generalization algorithms (``repro.generalize.samarati``) need a
+taxonomy per QI attribute.  These builders derive them from the same domain
+knowledge the generators use — geography rolls up city → province → country,
+ages roll up year → decade → band — so they stay consistent with whatever
+``seed``/``n_rows`` produced the relation.
+"""
+
+from __future__ import annotations
+
+from ..data.relation import Relation
+from ..generalize.hierarchy import ValueHierarchy
+from .datasets import PROVINCES
+
+
+def popsyn_hierarchies(relation: Relation) -> dict[str, ValueHierarchy]:
+    """Taxonomies for the Pop-Syn schema (GEN, ETH, AGE, PRV, CTY, OCC)."""
+    city_parents = {
+        city: prv for prv, cities in PROVINCES.items() for city in cities
+    }
+    city_parents.update({prv: "Canada" for prv in PROVINCES})
+    hierarchies = {
+        "CTY": ValueHierarchy(city_parents),
+        "PRV": ValueHierarchy({prv: "Canada" for prv in PROVINCES}),
+        "AGE": age_hierarchy(relation, "AGE"),
+    }
+    for attr in ("GEN", "ETH", "OCC"):
+        hierarchies[attr] = ValueHierarchy.flat(
+            relation.value_counts(attr)
+        )
+    return hierarchies
+
+
+def census_hierarchies(relation: Relation) -> dict[str, ValueHierarchy]:
+    """Taxonomies for the Census schema's QI attributes."""
+    education = {
+        "LessHS": "NoDegree", "HS": "NoDegree",
+        "SomeCollege": "Degree", "Bachelors": "Degree",
+        "Masters": "Advanced", "Doctorate": "Advanced",
+        "NoDegree": "Any", "Degree": "Any", "Advanced": "Any",
+    }
+    regions = {
+        "CA": "West", "TX": "South", "NY": "Northeast", "FL": "South",
+        "IL": "Midwest", "PA": "Northeast", "OH": "Midwest",
+        "MI": "Midwest", "GA": "South", "NC": "South",
+        "West": "USA", "South": "USA", "Northeast": "USA", "Midwest": "USA",
+    }
+    marital = {
+        "Married": "Partnered", "Separated": "Partnered",
+        "NeverMarried": "Single", "Divorced": "Single", "Widowed": "Single",
+        "Partnered": "Any", "Single": "Any",
+    }
+    hierarchies = {
+        "AGE": age_hierarchy(relation, "AGE"),
+        "EDU": ValueHierarchy(education),
+        "STATE": ValueHierarchy(regions),
+        "MARITAL": ValueHierarchy(marital),
+    }
+    for attr in ("SEX", "RACE", "OCC", "WORKCLASS", "CITIZEN"):
+        hierarchies[attr] = ValueHierarchy.flat(relation.value_counts(attr))
+    return hierarchies
+
+
+def credit_hierarchies(relation: Relation) -> dict[str, ValueHierarchy]:
+    """Taxonomies for the German-Credit schema's QI attributes."""
+    ages = {
+        "18-30": "Young", "31-45": "Young",
+        "46-60": "Senior", "60+": "Senior",
+        "Young": "Any", "Senior": "Any",
+    }
+    hierarchies = {"AGE_BAND": ValueHierarchy(ages)}
+    for attr in ("SEX", "JOB", "HOUSING", "FOREIGN"):
+        hierarchies[attr] = ValueHierarchy.flat(relation.value_counts(attr))
+    return hierarchies
+
+
+def pantheon_hierarchies(relation: Relation) -> dict[str, ValueHierarchy]:
+    """Taxonomies for the Pantheon schema's QI attributes.
+
+    Geography chains CITY → COUNTRY → CONTINENT → World; the occupational
+    taxonomy inverts the generator's DOMAIN → INDUSTRY → OCC drill-down.
+    """
+    parents: dict = {}
+    for tid, _ in relation:
+        city = relation.value(tid, "CITY")
+        country = relation.value(tid, "COUNTRY")
+        continent = relation.value(tid, "CONTINENT")
+        parents[city] = country
+        parents[country] = continent
+        parents[continent] = "World"
+    geo = ValueHierarchy(dict(parents))
+
+    occ_parents: dict = {}
+    for tid, _ in relation:
+        occ = relation.value(tid, "OCC")
+        industry = relation.value(tid, "INDUSTRY")
+        domain = relation.value(tid, "DOMAIN")
+        occ_parents[occ] = industry
+        occ_parents[industry] = domain
+        occ_parents[domain] = "AnyField"
+    occupation = ValueHierarchy(occ_parents)
+
+    year_parents: dict = {}
+    for year in relation.value_counts("BIRTH_YEAR"):
+        century = f"{(int(year) // 100) * 100}s"
+        year_parents[year] = century
+        year_parents[century] = "AnyEra"
+    # Countries/continents are interior nodes of the same geo tree, so the
+    # attributes share one hierarchy; likewise for the occupation chain.
+    hierarchies = {
+        "CITY": geo,
+        "COUNTRY": geo,
+        "CONTINENT": geo,
+        "OCC": occupation,
+        "INDUSTRY": occupation,
+        "DOMAIN": occupation,
+        "BIRTH_YEAR": ValueHierarchy(year_parents),
+    }
+    for attr in ("GEN", "BIRTH_ERA", "ALIVE"):
+        hierarchies[attr] = ValueHierarchy.flat(relation.value_counts(attr))
+    return hierarchies
+
+
+def age_hierarchy(relation: Relation, attr: str) -> ValueHierarchy:
+    """Numeric ages: year → decade ("40s") → band (adult/senior) → Any."""
+    parents: dict = {}
+    for age in relation.value_counts(attr):
+        decade = f"{(int(age) // 10) * 10}s"
+        parents[age] = decade
+        parents[decade] = "18-59" if int(age) < 60 else "60+"
+    parents["18-59"] = "Any"
+    parents["60+"] = "Any"
+    return ValueHierarchy(parents)
+
+
+DATASET_HIERARCHIES = {
+    "popsyn": popsyn_hierarchies,
+    "census": census_hierarchies,
+    "credit": credit_hierarchies,
+    "pantheon": pantheon_hierarchies,
+}
+
+
+def hierarchies_for(name: str, relation: Relation) -> dict[str, ValueHierarchy]:
+    """Hierarchies for a bundled dataset by name."""
+    try:
+        builder = DATASET_HIERARCHIES[name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(DATASET_HIERARCHIES))
+        raise ValueError(f"no hierarchies for {name!r}; one of {valid}")
+    return builder(relation)

@@ -1,0 +1,109 @@
+"""CSV persistence for relations.
+
+Relations round-trip through plain CSV so anonymized instances can be shared
+with downstream tools.  The suppression sentinel is serialized as ``*`` and
+attribute roles are written to a small sidecar schema file (JSON) so a
+relation can be reloaded with its QI/sensitive classification intact.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .relation import STAR, Attribute, AttributeKind, Relation, Schema
+
+STAR_TOKEN = "*"
+
+PathLike = Union[str, Path]
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """JSON-serializable description of a schema."""
+    return {
+        "attributes": [
+            {"name": a.name, "kind": a.kind.value, "numeric": a.numeric}
+            for a in schema
+        ]
+    }
+
+
+def schema_from_dict(data: dict) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    try:
+        attrs = [
+            Attribute(a["name"], AttributeKind(a["kind"]), bool(a.get("numeric", False)))
+            for a in data["attributes"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed schema description: {exc}") from exc
+    return Schema(attrs)
+
+
+def save_relation(relation: Relation, csv_path: PathLike) -> None:
+    """Write ``relation`` to ``csv_path`` plus a ``.schema.json`` sidecar.
+
+    Numeric cells are written as-is; suppressed cells as ``*``.  The first
+    CSV column is the tuple id so clusterings remain traceable after a
+    round-trip.
+    """
+    csv_path = Path(csv_path)
+    with open(csv_path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(("__tid__",) + relation.schema.names)
+        for tid, row in relation:
+            writer.writerow(
+                (tid,) + tuple(STAR_TOKEN if v is STAR else v for v in row)
+            )
+    sidecar = csv_path.with_suffix(csv_path.suffix + ".schema.json")
+    with open(sidecar, "w") as f:
+        json.dump(schema_to_dict(relation.schema), f, indent=2)
+
+
+def load_relation(csv_path: PathLike, schema: Schema = None) -> Relation:
+    """Load a relation written by :func:`save_relation`.
+
+    If ``schema`` is not given, the ``.schema.json`` sidecar next to the CSV
+    is required.  Numeric attributes are parsed back to int/float; the ``*``
+    token becomes :data:`STAR`.
+    """
+    csv_path = Path(csv_path)
+    if schema is None:
+        sidecar = csv_path.with_suffix(csv_path.suffix + ".schema.json")
+        if not sidecar.exists():
+            raise FileNotFoundError(
+                f"no schema given and sidecar {sidecar} not found"
+            )
+        with open(sidecar) as f:
+            schema = schema_from_dict(json.load(f))
+    numeric = {a.name for a in schema if a.numeric}
+    with open(csv_path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        if header[0] != "__tid__" or tuple(header[1:]) != schema.names:
+            raise ValueError(
+                f"CSV header {header!r} does not match schema {schema.names!r}"
+            )
+        tids, rows = [], []
+        for raw in reader:
+            tids.append(int(raw[0]))
+            row = []
+            for name, cell in zip(schema.names, raw[1:]):
+                if cell == STAR_TOKEN:
+                    row.append(STAR)
+                elif name in numeric:
+                    row.append(_parse_number(cell))
+                else:
+                    row.append(cell)
+            rows.append(tuple(row))
+    return Relation(schema, rows, tids)
+
+
+def _parse_number(cell: str):
+    """Parse a numeric CSV cell, preferring int over float."""
+    try:
+        return int(cell)
+    except ValueError:
+        return float(cell)

@@ -1,0 +1,459 @@
+"""Relational data layer for diversity-aware anonymization.
+
+This module provides the small relational substrate the rest of the library
+builds on: attribute and schema descriptions, the ``STAR`` suppression
+sentinel, and an immutable :class:`Relation` of tuples with stable tuple
+identifiers.
+
+The design follows the paper's preliminaries (Section 2): a relation ``R``
+with schema ``{A1, ..., An}`` is a finite set of tuples; attributes are
+classified as identifiers, quasi-identifiers (QI), or sensitive; suppression
+replaces QI values with a star, and a *QI-group* is a maximal set of tuples
+agreeing on every QI attribute.
+
+Tuples carry stable integer identifiers (``tid``) so that clusterings — which
+are sets of sets of tuples — can reference tuples across derived relations
+(the anonymized relation keeps the tid of the tuple it was derived from).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class _Star:
+    """Singleton sentinel for a suppressed value.
+
+    A suppressed cell compares equal only to the sentinel itself, prints as
+    ``★`` and is hashable so it can participate in QI-group keys.  Use the
+    module-level :data:`STAR` instance; the constructor always returns it.
+    """
+
+    _instance: Optional["_Star"] = None
+
+    def __new__(cls) -> "_Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "★"
+
+    def __str__(self) -> str:
+        return "★"
+
+    def __reduce__(self):
+        # Keep the singleton property across pickling.
+        return (_Star, ())
+
+
+STAR = _Star()
+"""The suppression sentinel. ``r[A] = STAR`` means attribute ``A`` of tuple
+``r`` has been suppressed."""
+
+
+def is_star(value: Any) -> bool:
+    """Return True if ``value`` is the suppression sentinel."""
+    return value is STAR
+
+
+class AttributeKind(enum.Enum):
+    """Role of an attribute in privacy-preserving publishing.
+
+    * ``IDENTIFIER`` — uniquely identifies an individual (e.g. SSN); dropped
+      before publishing.
+    * ``QUASI_IDENTIFIER`` — can identify an individual in combination with
+      other QIs; subject to suppression.
+    * ``SENSITIVE`` — personal information that is published as-is (e.g.
+      diagnosis); never suppressed by the anonymizers here.
+    * ``INSENSITIVE`` — other attributes, published as-is.
+    """
+
+    IDENTIFIER = "identifier"
+    QUASI_IDENTIFIER = "quasi"
+    SENSITIVE = "sensitive"
+    INSENSITIVE = "insensitive"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation schema.
+
+    ``numeric`` marks attributes whose domain is ordered (ages, amounts);
+    the Mondrian baseline uses this to choose median splits, and the data
+    generators use it when discretizing distributions.
+    """
+
+    name: str
+    kind: AttributeKind = AttributeKind.QUASI_IDENTIFIER
+    numeric: bool = False
+
+    @property
+    def is_qi(self) -> bool:
+        return self.kind is AttributeKind.QUASI_IDENTIFIER
+
+    @property
+    def is_sensitive(self) -> bool:
+        return self.kind is AttributeKind.SENSITIVE
+
+
+class Schema:
+    """Ordered collection of :class:`Attribute` with name lookup.
+
+    The schema is immutable.  Attribute order is the column order used by
+    :class:`Relation` rows and CSV I/O.
+    """
+
+    __slots__ = ("_attributes", "_index", "_names", "_qi_names", "_sensitive_names")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names: {dupes}")
+        self._attributes = attrs
+        self._index = {a.name: i for i, a in enumerate(attrs)}
+        self._names = tuple(names)
+        self._qi_names = tuple(a.name for a in attrs if a.is_qi)
+        self._sensitive_names = tuple(a.name for a in attrs if a.is_sensitive)
+
+    @classmethod
+    def from_names(
+        cls,
+        qi: Sequence[str] = (),
+        sensitive: Sequence[str] = (),
+        insensitive: Sequence[str] = (),
+        numeric: Sequence[str] = (),
+    ) -> "Schema":
+        """Build a schema from attribute-name lists.
+
+        Column order is ``qi`` then ``sensitive`` then ``insensitive``.
+        Names listed in ``numeric`` get the numeric flag.
+        """
+        nset = set(numeric)
+        attrs = [
+            Attribute(n, AttributeKind.QUASI_IDENTIFIER, n in nset) for n in qi
+        ]
+        attrs += [Attribute(n, AttributeKind.SENSITIVE, n in nset) for n in sensitive]
+        attrs += [
+            Attribute(n, AttributeKind.INSENSITIVE, n in nset) for n in insensitive
+        ]
+        return cls(attrs)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r} in schema") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        names = ", ".join(a.name for a in self._attributes)
+        return f"Schema({names})"
+
+    def position(self, name: str) -> int:
+        """Column index of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r} in schema") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def qi_names(self) -> tuple[str, ...]:
+        """Names of quasi-identifier attributes, in schema order."""
+        return self._qi_names
+
+    @property
+    def sensitive_names(self) -> tuple[str, ...]:
+        return self._sensitive_names
+
+    def validate_names(self, names: Iterable[str]) -> None:
+        """Raise ``KeyError`` if any of ``names`` is absent from the schema."""
+        for name in names:
+            if name not in self._index:
+                raise KeyError(f"no attribute named {name!r} in schema")
+
+
+class Relation:
+    """An immutable relation: a set of tuples with stable tuple ids.
+
+    Rows are stored as tuples in schema column order.  Each row carries an
+    integer tuple id (*tid*).  Tids are preserved by suppression so that an
+    anonymized relation's rows can be traced back to the original tuples —
+    DIVA's clusterings are expressed as sets of tids.
+
+    This is intentionally a small, dependency-free column-agnostic store;
+    the evaluation datasets are laptop-scale so plain Python containers are
+    adequate (and keep the algorithms legible).
+    """
+
+    __slots__ = ("_schema", "_rows", "_tids", "_tid_index")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]],
+        tids: Optional[Iterable[int]] = None,
+    ):
+        self._schema = schema
+        self._rows = [tuple(row) for row in rows]
+        width = len(schema)
+        for row in self._rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row width {len(row)} does not match schema width {width}"
+                )
+        if tids is None:
+            self._tids = list(range(len(self._rows)))
+        else:
+            self._tids = list(tids)
+            if len(self._tids) != len(self._rows):
+                raise ValueError("tids length does not match number of rows")
+            if len(set(self._tids)) != len(self._tids):
+                raise ValueError("tuple ids must be unique")
+        self._tid_index = {tid: i for i, tid in enumerate(self._tids)}
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls,
+        schema: Schema,
+        records: Iterable[Mapping[str, Any]],
+        tids: Optional[Iterable[int]] = None,
+    ) -> "Relation":
+        """Build a relation from mappings keyed by attribute name."""
+        names = schema.names
+        rows = [tuple(rec[n] for n in names) for rec in records]
+        return cls(schema, rows, tids)
+
+    # -- basic protocol ------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[int, tuple]]:
+        """Iterate ``(tid, row)`` pairs in storage order."""
+        return iter(zip(self._tids, self._rows))
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._tid_index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self._schema != other._schema:
+            return False
+        return sorted(zip(self._tids, self._rows)) == sorted(
+            zip(other._tids, other._rows)
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation({len(self._rows)} tuples, schema={self._schema!r})"
+
+    @property
+    def tids(self) -> tuple[int, ...]:
+        return tuple(self._tids)
+
+    def row(self, tid: int) -> tuple:
+        """Row (in schema order) of the tuple with id ``tid``."""
+        try:
+            return self._rows[self._tid_index[tid]]
+        except KeyError:
+            raise KeyError(f"no tuple with id {tid}") from None
+
+    def value(self, tid: int, attr: str) -> Any:
+        """Value of attribute ``attr`` for tuple ``tid``."""
+        return self.row(tid)[self._schema.position(attr)]
+
+    def record(self, tid: int) -> dict[str, Any]:
+        """Tuple ``tid`` as an attribute-name-keyed dict."""
+        return dict(zip(self._schema.names, self.row(tid)))
+
+    # -- relational operations -----------------------------------------------
+
+    def project(self, attrs: Sequence[str]) -> list[tuple]:
+        """Project rows onto ``attrs`` (duplicates kept, storage order)."""
+        self._schema.validate_names(attrs)
+        positions = [self._schema.position(a) for a in attrs]
+        return [tuple(row[p] for p in positions) for row in self._rows]
+
+    def distinct_projection_size(self, attrs: Optional[Sequence[str]] = None) -> int:
+        """Number of distinct value combinations over ``attrs``.
+
+        Defaults to the QI attributes — the paper's ``|ΠQI(R)|`` statistic
+        (Table 4).
+        """
+        if attrs is None:
+            attrs = self._schema.qi_names
+        return len(set(self.project(attrs)))
+
+    def value_counts(self, attr: str) -> Counter:
+        """Multiset of values appearing in attribute ``attr``."""
+        pos = self._schema.position(attr)
+        return Counter(row[pos] for row in self._rows)
+
+    def count_matching(self, attrs: Sequence[str], values: Sequence[Any]) -> int:
+        """Number of tuples with ``row[attrs] == values`` exactly.
+
+        Suppressed cells (``STAR``) never match a concrete value, which is
+        the counting semantics of diversity-constraint satisfaction
+        (Definition 2.3): a suppressed occurrence no longer *is* an
+        occurrence of the value.
+        """
+        positions = [self._schema.position(a) for a in attrs]
+        target = tuple(values)
+        return sum(
+            1
+            for row in self._rows
+            if tuple(row[p] for p in positions) == target
+        )
+
+    def matching_tids(self, attrs: Sequence[str], values: Sequence[Any]) -> set[int]:
+        """Tids of tuples matching ``values`` on ``attrs`` (no STAR matches)."""
+        positions = [self._schema.position(a) for a in attrs]
+        target = tuple(values)
+        return {
+            tid
+            for tid, row in zip(self._tids, self._rows)
+            if tuple(row[p] for p in positions) == target
+        }
+
+    def restrict(self, tids: Iterable[int]) -> "Relation":
+        """Sub-relation containing exactly the tuples in ``tids``."""
+        wanted = set(tids)
+        missing = wanted - set(self._tid_index)
+        if missing:
+            raise KeyError(f"unknown tuple ids: {sorted(missing)[:5]}")
+        keep = [
+            (tid, row) for tid, row in zip(self._tids, self._rows) if tid in wanted
+        ]
+        return Relation(
+            self._schema, [r for _, r in keep], [t for t, _ in keep]
+        )
+
+    def without(self, tids: Iterable[int]) -> "Relation":
+        """Sub-relation with the tuples in ``tids`` removed (``R \\ C``)."""
+        drop = set(tids)
+        keep = [
+            (tid, row)
+            for tid, row in zip(self._tids, self._rows)
+            if tid not in drop
+        ]
+        return Relation(
+            self._schema, [r for _, r in keep], [t for t, _ in keep]
+        )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Union of two relations over the same schema with disjoint tids."""
+        if self._schema != other._schema:
+            raise ValueError("cannot union relations with different schemas")
+        overlap = set(self._tid_index) & set(other._tid_index)
+        if overlap:
+            raise ValueError(
+                f"tid overlap in union: {sorted(overlap)[:5]} (relations must "
+                "partition the original tuples)"
+            )
+        return Relation(
+            self._schema,
+            self._rows + other._rows,
+            self._tids + other._tids,
+        )
+
+    def replace_rows(self, replacements: Mapping[int, Sequence[Any]]) -> "Relation":
+        """New relation with the rows of the given tids replaced."""
+        rows = []
+        for tid, row in zip(self._tids, self._rows):
+            if tid in replacements:
+                new = tuple(replacements[tid])
+                if len(new) != len(self._schema):
+                    raise ValueError("replacement row width mismatch")
+                rows.append(new)
+            else:
+                rows.append(row)
+        return Relation(self._schema, rows, self._tids)
+
+    # -- anonymization support ----------------------------------------------
+
+    def qi_groups(self) -> dict[tuple, set[int]]:
+        """Partition tuples into QI-groups (Definition 2.1).
+
+        Returns a mapping from the QI-value combination to the set of tids
+        sharing it.  STAR participates in keys: two tuples suppressed the
+        same way fall in the same group.
+        """
+        positions = [self._schema.position(a) for a in self._schema.qi_names]
+        groups: dict[tuple, set[int]] = defaultdict(set)
+        for tid, row in zip(self._tids, self._rows):
+            groups[tuple(row[p] for p in positions)].add(tid)
+        return dict(groups)
+
+    def suppress_values(self, cells: Iterable[tuple[int, str]]) -> "Relation":
+        """New relation with each ``(tid, attr)`` cell replaced by STAR."""
+        by_tid: dict[int, set[int]] = defaultdict(set)
+        for tid, attr in cells:
+            by_tid[tid].add(self._schema.position(attr))
+        replacements = {}
+        for tid, positions in by_tid.items():
+            row = list(self.row(tid))
+            for p in positions:
+                row[p] = STAR
+            replacements[tid] = tuple(row)
+        return self.replace_rows(replacements)
+
+    def star_count(self) -> int:
+        """Total number of suppressed cells in the relation."""
+        return sum(1 for row in self._rows for v in row if v is STAR)
+
+    def is_suppression_of(self, original: "Relation") -> bool:
+        """True iff ``original ⊑ self`` — see :func:`generalizes`."""
+        return generalizes(original, self)
+
+
+def generalizes(original: Relation, anonymized: Relation) -> bool:
+    """Check ``original ⊑ anonymized``: same tuples, values only starred.
+
+    Every tuple of ``anonymized`` must correspond (by tid) to a tuple of
+    ``original`` and agree with it on every cell except cells that are
+    ``STAR`` in the anonymized version.  Both relations must cover exactly
+    the same tids.
+    """
+    if original.schema != anonymized.schema:
+        return False
+    if set(original.tids) != set(anonymized.tids):
+        return False
+    for tid, arow in anonymized:
+        orow = original.row(tid)
+        for ov, av in zip(orow, arow):
+            if av is not STAR and av != ov:
+                return False
+    return True

@@ -1,0 +1,16 @@
+"""Generalization hierarchies — the gradual counterpart of suppression."""
+
+from .hierarchy import ROOT, ValueHierarchy
+from .incognito import IncognitoAnonymizer
+from .recoding import generalization_loss, generalize_clusters
+from .samarati import SamaratiAnonymizer, SamaratiSolution
+
+__all__ = [
+    "ROOT",
+    "ValueHierarchy",
+    "generalize_clusters",
+    "generalization_loss",
+    "IncognitoAnonymizer",
+    "SamaratiAnonymizer",
+    "SamaratiSolution",
+]

@@ -1,0 +1,179 @@
+"""Value-generalization hierarchies (taxonomies) for categorical domains.
+
+The paper treats suppression as "a maximal form of generalization that
+obscures a value completely" (Section 1).  This module supplies the general
+mechanism: a value hierarchy maps each leaf value through progressively
+coarser ancestors up to the root ``*`` (equivalent to a star), so recoding
+algorithms can trade precision for anonymity gradually instead of all at
+once.
+
+A hierarchy is a rooted tree whose leaves are domain values.  Levels are
+counted from the leaves (level 0 = the value itself) upward; generalizing a
+value to level ``h`` returns its ancestor ``h`` steps up, saturating at the
+root.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Optional
+
+#: Conventional root label; generalizing to the root = suppression.
+ROOT = "*"
+
+
+class ValueHierarchy:
+    """A generalization taxonomy over one attribute's domain.
+
+    Built from a child → parent mapping.  The root is any node without a
+    parent entry (created implicitly as :data:`ROOT` if absent).
+
+    Examples
+    --------
+    >>> h = ValueHierarchy.from_parents(
+    ...     {"Calgary": "AB", "Edmonton": "AB", "Vancouver": "BC",
+    ...      "AB": "Canada", "BC": "Canada"})
+    >>> h.generalize("Calgary", 1)
+    'AB'
+    >>> h.generalize("Calgary", 2)
+    'Canada'
+    >>> h.generalize("Calgary", 99)
+    'Canada'
+    """
+
+    def __init__(self, parents: Mapping[Any, Any]):
+        self._parents = dict(parents)
+        # Cycle check: walk up from every node with a step budget.
+        for start in self._parents:
+            seen = {start}
+            node = start
+            while node in self._parents:
+                node = self._parents[node]
+                if node in seen:
+                    raise ValueError(f"hierarchy contains a cycle through {node!r}")
+                seen.add(node)
+        roots = {
+            p for p in self._parents.values() if p not in self._parents
+        }
+        if len(roots) > 1:
+            # Multiple tops: join them under an implicit ROOT.
+            for top in roots:
+                self._parents[top] = ROOT
+        self._depths: dict[Any, int] = {}
+
+    @classmethod
+    def from_parents(cls, parents: Mapping[Any, Any]) -> "ValueHierarchy":
+        """Build from a child → parent mapping (most convenient form)."""
+        return cls(parents)
+
+    @classmethod
+    def from_levels(cls, levels: Mapping[Any, list]) -> "ValueHierarchy":
+        """Build from value → [ancestor1, ancestor2, ...] chains."""
+        parents: dict = {}
+        for value, chain in levels.items():
+            previous = value
+            for ancestor in chain:
+                existing = parents.get(previous)
+                if existing is not None and existing != ancestor:
+                    raise ValueError(
+                        f"conflicting parents for {previous!r}: "
+                        f"{existing!r} vs {ancestor!r}"
+                    )
+                parents[previous] = ancestor
+                previous = ancestor
+        return cls(parents)
+
+    @classmethod
+    def flat(cls, domain) -> "ValueHierarchy":
+        """The suppression-only hierarchy: every value directly under ROOT."""
+        return cls({value: ROOT for value in domain})
+
+    # -- queries ---------------------------------------------------------------
+
+    def parent(self, value: Any) -> Optional[Any]:
+        """Immediate ancestor, or None at the root."""
+        return self._parents.get(value)
+
+    def root(self) -> Any:
+        """The unique top of the hierarchy."""
+        node = next(iter(self._parents))
+        while node in self._parents:
+            node = self._parents[node]
+        return node
+
+    def depth(self, value: Any) -> int:
+        """Number of generalization steps from ``value`` to the root."""
+        if value not in self._depths:
+            steps, node = 0, value
+            while node in self._parents:
+                node = self._parents[node]
+                steps += 1
+            self._depths[value] = steps
+        return self._depths[value]
+
+    def height(self) -> int:
+        """Maximum depth over all known values."""
+        nodes = set(self._parents) | set(self._parents.values())
+        return max((self.depth(n) for n in nodes), default=0)
+
+    def generalize(self, value: Any, levels: int = 1) -> Any:
+        """Ancestor ``levels`` steps up (saturating at the root).
+
+        Unknown values generalize straight to the root: the hierarchy is a
+        publishing aid, and an unmapped value must never leak verbatim.
+        """
+        if levels < 0:
+            raise ValueError("levels must be non-negative")
+        if levels == 0:
+            return value
+        if value not in self._parents:
+            return self.root() if self._parents else ROOT
+        node = value
+        for _ in range(levels):
+            parent = self._parents.get(node)
+            if parent is None:
+                break
+            node = parent
+        return node
+
+    def common_ancestor(self, values) -> Any:
+        """Lowest common ancestor of a set of values.
+
+        This is the minimal generalization under which the values become
+        indistinguishable — the generalization analogue of suppressing an
+        attribute for a cluster.
+        """
+        values = list(values)
+        if not values:
+            raise ValueError("need at least one value")
+        chains = []
+        for value in values:
+            chain = [value]
+            node = value
+            while node in self._parents:
+                node = self._parents[node]
+                chain.append(node)
+            chains.append(chain)
+        candidate_sets = [set(chain) for chain in chains]
+        shared = set.intersection(*candidate_sets)
+        if not shared:
+            return self.root() if self._parents else ROOT
+        # The LCA is the shared node closest to the leaves.
+        return max(shared, key=self.depth)
+
+    def generality(self, value: Any) -> float:
+        """How generalized ``value`` is, in [0, 1] (leaf 0, root 1).
+
+        Used by the NCP-style information-loss metric: a cell recoded to a
+        higher hierarchy level carries less information.
+        """
+        total = self.height()
+        if total == 0:
+            return 0.0
+        return 1.0 - self.depth(value) / total
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._parents or value in self._parents.values()
+
+    def __repr__(self) -> str:
+        return f"ValueHierarchy({len(self._parents)} edges, height={self.height()})"

@@ -1,0 +1,187 @@
+"""Samarati's full-domain generalization algorithm (TKDE 2001).
+
+The paper's citation [22] — the original k-anonymization algorithm — works
+on generalization hierarchies rather than cell suppression: a *generalization
+state* assigns one hierarchy level per QI attribute, every cell is recoded
+to its ancestor at that level (full-domain recoding), and up to ``maxsup``
+outlier tuples whose groups stay below k may be suppressed (removed).
+Samarati's insight is that solutions are monotone in the lattice of level
+vectors, so a binary search over the lattice *height* (the sum of levels)
+finds a minimal-height satisfying state.
+
+This is a substrate/baseline implementation: unlike DIVA's cell suppression,
+full-domain recoding replaces values with coarser ones, so its output is a
+different relation rather than a star-masked copy (the ``R ⊑ R*``
+suppression order does not apply).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import AnonymizationError
+from ..data.relation import Relation
+from .hierarchy import ValueHierarchy
+
+
+@dataclass(frozen=True)
+class SamaratiSolution:
+    """A satisfying generalization state.
+
+    ``levels`` maps QI attribute → hierarchy level applied; ``height`` is
+    their sum; ``suppressed`` the tuples removed as outliers.
+    """
+
+    levels: tuple[tuple[str, int], ...]
+    height: int
+    suppressed: frozenset
+
+    def level_of(self, attr: str) -> int:
+        return dict(self.levels)[attr]
+
+
+class SamaratiAnonymizer:
+    """Binary search over the generalization lattice height.
+
+    Parameters
+    ----------
+    hierarchies:
+        One :class:`ValueHierarchy` per QI attribute (all QI attributes of
+        the relation must be covered).
+    maxsup:
+        Maximum number of outlier tuples that may be suppressed (removed)
+        to reach k-anonymity at a given state.
+    """
+
+    def __init__(
+        self, hierarchies: Mapping[str, ValueHierarchy], maxsup: int = 0
+    ):
+        if maxsup < 0:
+            raise ValueError("maxsup must be non-negative")
+        self.hierarchies = dict(hierarchies)
+        self.maxsup = maxsup
+
+    # -- lattice mechanics -----------------------------------------------------
+
+    def max_levels(self, relation: Relation) -> dict[str, int]:
+        """Per-attribute hierarchy heights (the lattice's upper corner)."""
+        missing = [
+            a for a in relation.schema.qi_names if a not in self.hierarchies
+        ]
+        if missing:
+            raise AnonymizationError(
+                f"no hierarchy for QI attribute(s): {missing}"
+            )
+        out = {}
+        for attr in relation.schema.qi_names:
+            hierarchy = self.hierarchies[attr]
+            out[attr] = max(
+                (hierarchy.depth(v) for v in relation.value_counts(attr)),
+                default=0,
+            )
+        return out
+
+    def states_at_height(self, relation: Relation, height: int):
+        """All level vectors whose components sum to ``height``."""
+        attrs = list(relation.schema.qi_names)
+        maxima = self.max_levels(relation)
+        ranges = [range(maxima[a] + 1) for a in attrs]
+
+        def recurse(index: int, remaining: int, prefix: list):
+            if index == len(attrs):
+                if remaining == 0:
+                    yield tuple(zip(attrs, prefix))
+                return
+            for level in ranges[index]:
+                if level > remaining:
+                    break
+                yield from recurse(index + 1, remaining - level, prefix + [level])
+
+        yield from recurse(0, height, [])
+
+    def apply_state(
+        self, relation: Relation, levels: Mapping[str, int]
+    ) -> Relation:
+        """Full-domain recode every QI cell to its ancestor at the level."""
+        schema = relation.schema
+        recodings = {}
+        for attr, level in levels.items():
+            if level == 0:
+                continue
+            pos = schema.position(attr)
+            hierarchy = self.hierarchies[attr]
+            recodings[pos] = {
+                value: hierarchy.generalize(value, level)
+                for value in relation.value_counts(attr)
+            }
+        if not recodings:
+            return relation
+        replacements = {}
+        for tid, row in relation:
+            new_row = list(row)
+            for pos, mapping in recodings.items():
+                new_row[pos] = mapping[row[pos]]
+            replacements[tid] = tuple(new_row)
+        return relation.replace_rows(replacements)
+
+    def check_state(
+        self, relation: Relation, levels: Mapping[str, int], k: int
+    ) -> Optional[tuple[Relation, frozenset]]:
+        """Recode, drop ≤ maxsup outliers, and test k-anonymity.
+
+        Returns (anonymized relation, suppressed tids) on success, None
+        otherwise.
+        """
+        recoded = self.apply_state(relation, levels)
+        outliers: set[int] = set()
+        for _, tids in recoded.qi_groups().items():
+            if len(tids) < k:
+                outliers |= tids
+        if len(outliers) > self.maxsup:
+            return None
+        return recoded.without(outliers), frozenset(outliers)
+
+    # -- search -----------------------------------------------------------------
+
+    def anonymize(
+        self, relation: Relation, k: int
+    ) -> tuple[Relation, SamaratiSolution]:
+        """Minimal-height satisfying generalization (binary search).
+
+        Raises :class:`AnonymizationError` when even the lattice's top
+        (everything at maximum level) cannot reach k-anonymity within
+        ``maxsup`` — only possible when ``|R| − maxsup < k``.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        maxima = self.max_levels(relation)
+        top = sum(maxima.values())
+        if self._solve_at(relation, top, k) is None:
+            raise AnonymizationError(
+                f"even full generalization cannot {k}-anonymize within "
+                f"maxsup={self.maxsup}"
+            )
+        low, high = 0, top
+        best = None
+        while low <= high:
+            mid = (low + high) // 2
+            solved = self._solve_at(relation, mid, k)
+            if solved is not None:
+                best = solved
+                high = mid - 1
+            else:
+                low = mid + 1
+        anonymized, solution = best
+        return anonymized, solution
+
+    def _solve_at(self, relation: Relation, height: int, k: int):
+        for levels in self.states_at_height(relation, height):
+            outcome = self.check_state(relation, dict(levels), k)
+            if outcome is not None:
+                anonymized, suppressed = outcome
+                return anonymized, SamaratiSolution(
+                    levels=levels, height=height, suppressed=suppressed
+                )
+        return None

@@ -1,0 +1,35 @@
+"""Evaluation metrics: information loss, discernibility, conflict, diversity."""
+
+from .conflict import conflict_matrix, conflict_rate, pairwise_conflict
+from .discernibility import accuracy, discernibility, mean_group_size
+from .diversity_check import (
+    ConstraintVerdict,
+    check_diversity,
+    diversity_satisfaction_ratio,
+)
+from .information_loss import (
+    retained_ratio,
+    star_count,
+    star_ratio,
+    stars_by_attribute,
+)
+from .stats import GroupStats, group_stats, is_k_anonymous
+
+__all__ = [
+    "accuracy",
+    "discernibility",
+    "mean_group_size",
+    "conflict_rate",
+    "conflict_matrix",
+    "pairwise_conflict",
+    "check_diversity",
+    "ConstraintVerdict",
+    "diversity_satisfaction_ratio",
+    "star_count",
+    "star_ratio",
+    "stars_by_attribute",
+    "retained_ratio",
+    "GroupStats",
+    "group_stats",
+    "is_k_anonymous",
+]

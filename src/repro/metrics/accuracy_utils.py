@@ -1,0 +1,17 @@
+"""Convenience bundle of the output metrics every experiment records."""
+
+from __future__ import annotations
+
+from ..data.relation import Relation
+from .discernibility import accuracy, discernibility
+from .information_loss import star_count, star_ratio
+
+
+def measure_output(relation: Relation, k: int) -> dict:
+    """Accuracy, discernibility and star metrics of an anonymized relation."""
+    return {
+        "accuracy": accuracy(relation, k),
+        "discernibility": discernibility(relation, k),
+        "stars": star_count(relation),
+        "star_ratio": star_ratio(relation),
+    }

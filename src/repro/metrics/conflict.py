@@ -1,0 +1,71 @@
+"""Conflict rate between diversity constraints (paper Section 4, Metrics).
+
+The paper measures "the conflict rate between a pair of diversity
+constraints as the number of overlapping relevant tuples", extended to a set
+and normalized into [0, 1] (0 = no overlap).  We instantiate the pairwise
+rate as Jaccard-style overlap against the smaller target set,
+
+    cf(σi, σj) = |Iσi ∩ Iσj| / min(|Iσi|, |Iσj|)
+
+so cf = 1 means one constraint's targets are entirely contained in the
+other's (maximal contention), and cf(Σ) is the mean over all pairs whose
+targets are non-empty.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.constraints import ConstraintSet, DiversityConstraint
+from ..data.relation import Relation
+
+
+def pairwise_conflict(
+    relation: Relation, a: DiversityConstraint, b: DiversityConstraint
+) -> float:
+    """``cf(σa, σb)`` in [0, 1]; 0 when either target set is empty."""
+    ta, tb = a.target_tids(relation), b.target_tids(relation)
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / min(len(ta), len(tb))
+
+
+def conflict_rate(relation: Relation, constraints: ConstraintSet) -> float:
+    """``cf(Σ)``: mean pairwise conflict over constraints with targets.
+
+    Returns 0.0 for fewer than two constraints.
+    """
+    targets = {
+        sigma: sigma.target_tids(relation)
+        for sigma in constraints
+    }
+    active = [s for s, t in targets.items() if t]
+    if len(active) < 2:
+        return 0.0
+    total, pairs = 0.0, 0
+    for a, b in itertools.combinations(active, 2):
+        ta, tb = targets[a], targets[b]
+        total += len(ta & tb) / min(len(ta), len(tb))
+        pairs += 1
+    return total / pairs
+
+
+def conflict_matrix(
+    relation: Relation, constraints: ConstraintSet
+) -> list[list[float]]:
+    """Symmetric |Σ|×|Σ| matrix of pairwise conflict rates (diagonal 1)."""
+    sigmas = list(constraints)
+    targets = [s.target_tids(relation) for s in sigmas]
+    n = len(sigmas)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        matrix[i][i] = 1.0 if targets[i] else 0.0
+        for j in range(i + 1, n):
+            if targets[i] and targets[j]:
+                value = len(targets[i] & targets[j]) / min(
+                    len(targets[i]), len(targets[j])
+                )
+            else:
+                value = 0.0
+            matrix[i][j] = matrix[j][i] = value
+    return matrix

@@ -1,0 +1,59 @@
+"""Diversity-satisfaction reporting for published relations.
+
+Thin wrappers over constraint satisfaction that produce the per-constraint
+report third parties would run against a published instance: observed count,
+the required range, and the verdict ("run a query that counts the number of
+occurrences ... and check if this number lies in the frequency range",
+paper Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.constraints import ConstraintSet, DiversityConstraint
+from ..data.relation import Relation
+
+
+@dataclass(frozen=True)
+class ConstraintVerdict:
+    """Outcome of checking one constraint against a relation."""
+
+    constraint: DiversityConstraint
+    count: int
+    satisfied: bool
+
+    @property
+    def shortfall(self) -> int:
+        """How many occurrences below λl (0 if not below)."""
+        return max(0, self.constraint.lower - self.count)
+
+    @property
+    def overage(self) -> int:
+        """How many occurrences above λr (0 if not above)."""
+        return max(0, self.count - self.constraint.upper)
+
+
+def check_diversity(
+    relation: Relation, constraints: ConstraintSet
+) -> list[ConstraintVerdict]:
+    """Per-constraint verdicts for ``R |= Σ``."""
+    verdicts = []
+    for sigma in constraints:
+        count = sigma.count(relation)
+        verdicts.append(
+            ConstraintVerdict(
+                sigma, count, sigma.lower <= count <= sigma.upper
+            )
+        )
+    return verdicts
+
+
+def diversity_satisfaction_ratio(
+    relation: Relation, constraints: ConstraintSet
+) -> float:
+    """Fraction of constraints satisfied (1.0 for an empty Σ)."""
+    if len(constraints) == 0:
+        return 1.0
+    verdicts = check_diversity(relation, constraints)
+    return sum(1 for v in verdicts if v.satisfied) / len(verdicts)

@@ -1,0 +1,60 @@
+"""Equivalence-class (QI-group) statistics for anonymized relations.
+
+Descriptive statistics that the experiments report alongside accuracy:
+group-count, size distribution, and the fully-suppressed fraction (tuples
+whose every QI cell is a star — the pathological blob that drives
+discernibility up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.relation import STAR, Relation
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Summary of the QI-group structure of a relation."""
+
+    n_tuples: int
+    n_groups: int
+    min_size: int
+    max_size: int
+    mean_size: float
+    fully_suppressed: int
+
+    @property
+    def fully_suppressed_ratio(self) -> float:
+        return self.fully_suppressed / self.n_tuples if self.n_tuples else 0.0
+
+
+def group_stats(relation: Relation) -> GroupStats:
+    """Compute :class:`GroupStats` for a (possibly anonymized) relation."""
+    groups = relation.qi_groups()
+    sizes = [len(g) for g in groups.values()]
+    qi_positions = [
+        relation.schema.position(a) for a in relation.schema.qi_names
+    ]
+    fully = sum(
+        1
+        for _, row in relation
+        if qi_positions and all(row[p] is STAR for p in qi_positions)
+    )
+    if not sizes:
+        return GroupStats(0, 0, 0, 0, 0.0, 0)
+    return GroupStats(
+        n_tuples=len(relation),
+        n_groups=len(sizes),
+        min_size=min(sizes),
+        max_size=max(sizes),
+        mean_size=len(relation) / len(sizes),
+        fully_suppressed=fully,
+    )
+
+
+def is_k_anonymous(relation: Relation, k: int) -> bool:
+    """True iff every QI-group has at least k tuples (Definition 2.1)."""
+    if len(relation) == 0:
+        return True
+    return all(len(g) >= k for g in relation.qi_groups().values())

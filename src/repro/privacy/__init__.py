@@ -1,0 +1,31 @@
+"""Privacy-model verifiers and mechanisms: k-anonymity, its extensions, and
+the randomized-response DP building block from the paper's future work."""
+
+from .dp import RandomizedResponse, expected_counts, randomize_relation
+from .kanonymity import KAnonymityReport, check_k_anonymity, max_k
+from .ldiversity import LDiversityReport, check_l_diversity, entropy_l_diversity
+from .tcloseness import (
+    TClosenessReport,
+    check_t_closeness,
+    ordered_emd,
+    total_variation,
+)
+from .xyanonymity import XYAnonymityReport, check_xy_anonymity
+
+__all__ = [
+    "RandomizedResponse",
+    "randomize_relation",
+    "expected_counts",
+    "KAnonymityReport",
+    "check_k_anonymity",
+    "max_k",
+    "LDiversityReport",
+    "check_l_diversity",
+    "entropy_l_diversity",
+    "TClosenessReport",
+    "check_t_closeness",
+    "total_variation",
+    "ordered_emd",
+    "XYAnonymityReport",
+    "check_xy_anonymity",
+]

@@ -1,0 +1,171 @@
+"""Randomized response for local differential privacy (paper §6 future work).
+
+The paper's future work proposes "randomization algorithms to satisfy both
+diversity constraints and Differential privacy (DP) to provide a higher
+level of protection".  This module supplies the standard building block:
+**k-ary randomized response** over categorical attributes, which satisfies
+ε-local differential privacy per attribute, plus the unbiased frequency
+estimator that lets analysts recover value distributions from the
+randomized column, and sequential-composition accounting.
+
+Randomized response with privacy parameter ε over a domain of size d keeps
+the true value with probability ``p = e^ε / (e^ε + d − 1)`` and otherwise
+reports one of the d−1 other values uniformly.  Frequencies are recovered
+via the standard inversion ``n̂_v = (n_v − N·q) / (p − q)`` with
+``q = 1 / (e^ε + d − 1)``.
+
+``randomize_relation`` composes per-attribute mechanisms; by sequential
+composition the total budget is the sum of the per-attribute ε's.
+Suppressed cells (STAR) are left untouched — they carry no information to
+protect — and the diversity-constraint caveat of the paper applies: after
+randomization, diversity constraints hold only in expectation, which
+``expected_counts`` quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..core.constraints import ConstraintSet
+from ..data.relation import STAR, Relation
+
+
+class RandomizedResponse:
+    """k-ary randomized response over one categorical domain.
+
+    Satisfies ε-local differential privacy: for any two true values and any
+    output, the probability ratio is at most ``e^ε``.
+    """
+
+    def __init__(self, domain: Sequence, epsilon: float):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.domain = list(dict.fromkeys(domain))
+        if len(self.domain) < 2:
+            raise ValueError("domain must contain at least two values")
+        self.epsilon = float(epsilon)
+        d = len(self.domain)
+        e = math.exp(epsilon)
+        self.p_keep = e / (e + d - 1)
+        self.p_other = 1.0 / (e + d - 1)
+        self._index = {v: i for i, v in enumerate(self.domain)}
+
+    def randomize(self, value, rng: np.random.Generator):
+        """One randomized report of ``value`` (STAR passes through)."""
+        if value is STAR:
+            return STAR
+        if value not in self._index:
+            raise ValueError(f"value {value!r} not in the declared domain")
+        if rng.random() < self.p_keep:
+            return value
+        d = len(self.domain)
+        offset = int(rng.integers(1, d))
+        return self.domain[(self._index[value] + offset) % d]
+
+    def estimate_counts(self, reported: Sequence) -> dict:
+        """Unbiased true-count estimates from randomized reports.
+
+        STAR reports are excluded from N (they were never randomized).
+        Estimates can be slightly negative on small samples; callers may
+        clamp if they need proper counts.
+        """
+        concrete = [v for v in reported if v is not STAR]
+        n_total = len(concrete)
+        estimates = {}
+        for value in self.domain:
+            observed = sum(1 for v in concrete if v == value)
+            estimates[value] = (
+                (observed - n_total * self.p_other)
+                / (self.p_keep - self.p_other)
+            )
+        return estimates
+
+
+def randomize_relation(
+    relation: Relation,
+    budgets: Mapping[str, float],
+    seed: int = 0,
+    domains: Optional[Mapping[str, Sequence]] = None,
+) -> tuple[Relation, float]:
+    """Apply randomized response to the given attributes of a relation.
+
+    ``budgets`` maps attribute names to their per-attribute ε.  Domains
+    default to the values observed in the column (pass ``domains`` to
+    declare the full domain when the data may not exhibit it).  Returns the
+    randomized relation and the total ε under sequential composition.
+    """
+    schema = relation.schema
+    schema.validate_names(budgets)
+    rng = np.random.default_rng(seed)
+    replacements: dict[int, list] = {
+        tid: list(row) for tid, row in relation
+    }
+    total_epsilon = 0.0
+    for attr, epsilon in budgets.items():
+        pos = schema.position(attr)
+        if domains and attr in domains:
+            domain = domains[attr]
+        else:
+            domain = sorted(
+                {row[pos] for _, row in relation if row[pos] is not STAR},
+                key=str,
+            )
+        mechanism = RandomizedResponse(domain, epsilon)
+        total_epsilon += mechanism.epsilon
+        for tid in replacements:
+            replacements[tid][pos] = mechanism.randomize(
+                replacements[tid][pos], rng
+            )
+    randomized = relation.replace_rows(
+        {tid: tuple(row) for tid, row in replacements.items()}
+    )
+    return randomized, total_epsilon
+
+
+def expected_counts(
+    relation: Relation,
+    constraints: ConstraintSet,
+    budgets: Mapping[str, float],
+    domains: Optional[Mapping[str, Sequence]] = None,
+) -> dict:
+    """Expected post-randomization count per single-attribute constraint.
+
+    After randomized response, a diversity constraint holds only in
+    expectation: a true count ``n`` over a domain of size d becomes
+    ``E[n'] = n·p + (N − n)·q``.  Returns a mapping from constraint to its
+    expected count (constraints on un-randomized attributes keep their true
+    count; multi-attribute constraints are out of scope and raise).
+    """
+    schema = relation.schema
+    out = {}
+    for sigma in constraints:
+        if not sigma.is_single_attribute:
+            raise ValueError(
+                "expected_counts supports single-attribute constraints only"
+            )
+        attr = sigma.attrs[0]
+        true_count = sigma.count(relation)
+        if attr not in budgets:
+            out[sigma] = float(true_count)
+            continue
+        pos = schema.position(attr)
+        if domains and attr in domains:
+            domain = domains[attr]
+        else:
+            domain = sorted(
+                {row[pos] for _, row in relation if row[pos] is not STAR},
+                key=str,
+            )
+        mechanism = RandomizedResponse(domain, budgets[attr])
+        n_concrete = sum(
+            1 for _, row in relation if row[pos] is not STAR
+        )
+        out[sigma] = (
+            true_count * mechanism.p_keep
+            + (n_concrete - true_count) * mechanism.p_other
+        )
+    return out

@@ -1,0 +1,47 @@
+"""k-anonymity verification (paper Definition 2.1).
+
+A relation is k-anonymous if every tuple lies in a QI-group of at least k
+tuples.  The verifier reports the violating groups so callers can see *where*
+privacy fails, not just that it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from ..data.relation import Relation
+
+
+@dataclass(frozen=True)
+class KAnonymityReport:
+    """Verdict plus the offending groups (QI key → size) if any."""
+
+    k: int
+    satisfied: bool
+    violating_groups: tuple[tuple[tuple, int], ...] = ()
+
+    @property
+    def n_violations(self) -> int:
+        return len(self.violating_groups)
+
+
+def check_k_anonymity(relation: Relation, k: int) -> KAnonymityReport:
+    """Full k-anonymity check with violation details."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    violations = []
+    for key, tids in relation.qi_groups().items():
+        if len(tids) < k:
+            violations.append((key, len(tids)))
+    return KAnonymityReport(
+        k=k, satisfied=not violations, violating_groups=tuple(violations)
+    )
+
+
+def max_k(relation: Relation) -> int:
+    """The largest k for which the relation is k-anonymous (0 if empty)."""
+    groups = relation.qi_groups()
+    if not groups:
+        return 0
+    return min(len(g) for g in groups.values())

@@ -1,0 +1,59 @@
+"""(X, Y)-anonymity verification (Wang & Fung — named in the paper's §2/§5).
+
+(X, Y)-anonymity generalizes k-anonymity: each group of tuples agreeing on
+the attribute set X must be linked to at least k distinct values on the
+attribute set Y.  Plain k-anonymity is the special case where X = the QI
+attributes and Y = a tuple identifier; taking Y = the sensitive attribute
+yields a diversity-flavoured guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..data.relation import Relation
+
+
+@dataclass(frozen=True)
+class XYAnonymityReport:
+    """Verdict plus the minimum Y-multiplicity observed across X-groups."""
+
+    x_attrs: tuple[str, ...]
+    y_attrs: tuple[str, ...]
+    k: int
+    satisfied: bool
+    min_y_count: int
+    violating_groups: tuple[tuple, ...] = ()
+
+
+def check_xy_anonymity(
+    relation: Relation,
+    x_attrs: Sequence[str],
+    y_attrs: Sequence[str],
+    k: int,
+) -> XYAnonymityReport:
+    """Check that each X-group spans at least k distinct Y-value combinations."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    x_attrs, y_attrs = tuple(x_attrs), tuple(y_attrs)
+    relation.schema.validate_names(x_attrs)
+    relation.schema.validate_names(y_attrs)
+    if set(x_attrs) & set(y_attrs):
+        raise ValueError("X and Y must be disjoint attribute sets")
+    x_pos = [relation.schema.position(a) for a in x_attrs]
+    y_pos = [relation.schema.position(a) for a in y_attrs]
+    groups: dict[tuple, set[tuple]] = defaultdict(set)
+    for _, row in relation:
+        groups[tuple(row[p] for p in x_pos)].add(tuple(row[p] for p in y_pos))
+    violations = [key for key, ys in groups.items() if len(ys) < k]
+    min_count = min((len(ys) for ys in groups.values()), default=0)
+    return XYAnonymityReport(
+        x_attrs=x_attrs,
+        y_attrs=y_attrs,
+        k=k,
+        satisfied=not violations,
+        min_y_count=min_count,
+        violating_groups=tuple(violations),
+    )

@@ -1,0 +1,35 @@
+"""Experiment workloads: constraint generation and parameter sweeps."""
+
+from .constraint_gen import (
+    CONSTRAINT_CLASSES,
+    average_constraints,
+    conflicted_constraints,
+    make_constraints,
+    min_frequency_constraints,
+    proportion_constraints,
+)
+from .sweeps import (
+    N_TRIALS,
+    PARAM_DEFAULTS,
+    PARAM_GRID,
+    SCALE,
+    TrialResult,
+    run_trials,
+    sweep,
+)
+
+__all__ = [
+    "CONSTRAINT_CLASSES",
+    "proportion_constraints",
+    "min_frequency_constraints",
+    "average_constraints",
+    "conflicted_constraints",
+    "make_constraints",
+    "PARAM_GRID",
+    "PARAM_DEFAULTS",
+    "SCALE",
+    "N_TRIALS",
+    "TrialResult",
+    "run_trials",
+    "sweep",
+]

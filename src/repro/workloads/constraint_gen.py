@@ -1,0 +1,299 @@
+"""Diversity-constraint workload generators (paper Section 4, setup).
+
+The paper implements "three notions of diversity via three classes of
+diversity constraints, namely, minimum frequency, average, and proportional
+representation from the attribute domain [Stoyanovich et al.]" and runs its
+experiments with proportion constraints.  This module generates all three
+classes from a relation's empirical value distribution, plus a
+conflict-rate-targeted generator for the Figure 4c sweep.
+
+Suppression can only *remove* occurrences of a value, so generated upper
+bounds at or above the original count are vacuous and the interesting
+tension is: lower bounds force preservation, upper bounds (below the
+original count) force suppression — the conflict-targeted generator uses
+overlapping target-tuple sets to create exactly that tension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..core.constraints import ConstraintSet, DiversityConstraint
+from ..data.relation import Relation
+from ..metrics.conflict import conflict_rate
+
+
+def _eligible_values(
+    relation: Relation, attr: str, k: int, max_values: Optional[int] = None
+) -> list[tuple[object, int]]:
+    """(value, count) pairs with count ≥ k, most frequent first."""
+    counts = relation.value_counts(attr)
+    pairs = [(v, c) for v, c in counts.items() if c >= k]
+    pairs.sort(key=lambda vc: (-vc[1], str(vc[0])))
+    return pairs[:max_values] if max_values else pairs
+
+
+def _candidate_attrs(relation: Relation, attrs: Optional[Sequence[str]]) -> list[str]:
+    if attrs is not None:
+        relation.schema.validate_names(attrs)
+        return list(attrs)
+    # Default: categorical QI attributes (numeric ones have huge domains).
+    return [
+        a.name
+        for a in relation.schema
+        if a.is_qi and not a.numeric
+    ]
+
+
+def proportion_constraints(
+    relation: Relation,
+    n_constraints: int,
+    k: int = 2,
+    alpha: float = 0.5,
+    beta: float = 1.0,
+    lower_cap: Optional[int] = None,
+    attrs: Optional[Sequence[str]] = None,
+    value_bias: str = "minority",
+    seed: int = 0,
+) -> ConstraintSet:
+    """Proportional-representation constraints (the paper's default class).
+
+    For a characteristic value ``a`` with original count ``c``, requires the
+    published count to stay within ``[⌈alpha·c⌉, ⌈beta·c⌉]`` — each group
+    keeps at least an ``alpha`` share of its original representation.
+    ``lower_cap`` optionally clamps λl to ``[k, lower_cap]`` for lightweight
+    workloads (e.g. "between two and five Asian individuals"-style absolute
+    bounds); by default the bound is fully proportional.
+
+    ``value_bias`` controls which characteristic values get constraints:
+    ``"minority"`` (default) weights rare values — the groups whose
+    representation anonymization actually endangers; ``"frequency"``
+    weights common values — which concentrates constraints on the head of
+    skewed domains (the contention regime of the paper's Figure 4d);
+    ``"uniform"`` draws values uniformly.
+    """
+    _validate_fractions(alpha, beta)
+    rng = np.random.default_rng(seed)
+    cap = lower_cap if lower_cap is not None else 10 ** 9
+    if cap < k:
+        raise ValueError("lower_cap must be at least k")
+    candidates = _value_pool(relation, attrs, k)
+    chosen = _draw_biased(candidates, n_constraints, rng, value_bias)
+    constraints = []
+    for attr, value, count in chosen:
+        lower = max(k, min(int(np.ceil(alpha * count)), cap))
+        upper = max(lower, int(np.ceil(beta * count)))
+        constraints.append(DiversityConstraint(attr, value, lower, upper))
+    return ConstraintSet(constraints)
+
+
+def min_frequency_constraints(
+    relation: Relation,
+    n_constraints: int,
+    k: int = 2,
+    floor: Optional[int] = None,
+    attrs: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ConstraintSet:
+    """Minimum-frequency constraints: lower bound only, vacuous upper bound.
+
+    ``floor`` defaults to ``max(k, 2)`` — above one representative to avoid
+    tokenism, as the paper discusses.
+    """
+    rng = np.random.default_rng(seed)
+    floor = max(k, 2) if floor is None else floor
+    if floor < 0:
+        raise ValueError("floor must be non-negative")
+    candidates = [
+        (a, v, c) for a, v, c in _value_pool(relation, attrs, k) if c >= floor
+    ]
+    chosen = _draw(candidates, n_constraints, rng)
+    n = len(relation)
+    return ConstraintSet(
+        DiversityConstraint(attr, value, floor, n) for attr, value, count in chosen
+    )
+
+
+def average_constraints(
+    relation: Relation,
+    n_constraints: int,
+    k: int = 2,
+    spread: float = 0.5,
+    attrs: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ConstraintSet:
+    """Average-representation constraints.
+
+    Each selected value of attribute A must appear within ``±spread`` of the
+    *average* per-value frequency of A's domain (``|R| / |dom(A)|``).  The
+    paper found this class more sensitive than proportions — small domains
+    make the average a blunt requirement — which our Figure 4 ablation
+    bench reproduces.
+    """
+    if not 0.0 <= spread <= 1.0:
+        raise ValueError("spread must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    pool = []
+    for attr in _candidate_attrs(relation, attrs):
+        values = _eligible_values(relation, attr, k)
+        if not values:
+            continue
+        domain_size = len(relation.value_counts(attr))
+        avg = len(relation) / domain_size
+        lower = max(k, int(np.floor((1 - spread) * avg)))
+        upper = max(lower, int(np.ceil((1 + spread) * avg)))
+        for value, count in values:
+            pool.append((attr, value, lower, upper))
+    chosen_idx = _draw_indices(len(pool), n_constraints, rng)
+    return ConstraintSet(
+        DiversityConstraint(pool[i][0], pool[i][1], pool[i][2], pool[i][3])
+        for i in chosen_idx
+    )
+
+
+def conflicted_constraints(
+    relation: Relation,
+    n_constraints: int,
+    target_cf: float,
+    k: int = 2,
+    alpha: float = 0.5,
+    lower_cap: Optional[int] = None,
+    attrs: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ConstraintSet:
+    """Generate Σ whose conflict rate cf(Σ) approximates ``target_cf``.
+
+    Builds a candidate pool of single- and two-attribute proportion
+    constraints, then greedily selects the candidate that moves the running
+    cf(Σ) closest to the target.  Two-attribute candidates' target tuples
+    are subsets of their parent single-attribute candidates' — adding them
+    raises cf; disjoint single-attribute values lower it.
+    """
+    if not 0.0 <= target_cf <= 1.0:
+        raise ValueError("target_cf must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    cap = lower_cap if lower_cap is not None else 10 ** 9
+    if cap < k:
+        raise ValueError("lower_cap must be at least k")
+    attr_names = _candidate_attrs(relation, attrs)
+    pool: list[DiversityConstraint] = []
+    for attr in attr_names:
+        for value, count in _eligible_values(relation, attr, k, max_values=12):
+            lower = max(k, min(int(np.ceil(alpha * count)), cap))
+            pool.append(DiversityConstraint(attr, value, lower, count))
+    # Two-attribute refinements: their targets nest inside a parent's.
+    for i, attr_a in enumerate(attr_names):
+        for attr_b in attr_names[i + 1:]:
+            for value_a, _ in _eligible_values(relation, attr_a, k, max_values=4):
+                for value_b, _ in _eligible_values(relation, attr_b, k, max_values=4):
+                    tids = relation.matching_tids(
+                        (attr_a, attr_b), (value_a, value_b)
+                    )
+                    if len(tids) < k:
+                        continue
+                    lower = max(k, min(int(np.ceil(alpha * len(tids))), cap))
+                    pool.append(
+                        DiversityConstraint(
+                            (attr_a, attr_b), (value_a, value_b), lower, len(tids)
+                        )
+                    )
+    if len(pool) < n_constraints:
+        raise ValueError(
+            f"only {len(pool)} candidate constraints available; "
+            f"cannot build Σ of size {n_constraints}"
+        )
+    order = list(rng.permutation(len(pool)))
+    selected: list[DiversityConstraint] = [pool[order.pop(0)]]
+    while len(selected) < n_constraints:
+        best_idx, best_gap = None, None
+        for idx in order:
+            candidate = ConstraintSet(selected + [pool[idx]])
+            gap = abs(conflict_rate(relation, candidate) - target_cf)
+            if best_gap is None or gap < best_gap:
+                best_idx, best_gap = idx, gap
+        order.remove(best_idx)
+        selected.append(pool[best_idx])
+    return ConstraintSet(selected)
+
+
+CONSTRAINT_CLASSES = {
+    "proportion": proportion_constraints,
+    "min_frequency": min_frequency_constraints,
+    "average": average_constraints,
+}
+
+
+def make_constraints(
+    class_name: str, relation: Relation, n_constraints: int, **kwargs
+) -> ConstraintSet:
+    """Generate Σ of a named class (``proportion``/``min_frequency``/``average``)."""
+    try:
+        fn = CONSTRAINT_CLASSES[class_name.lower()]
+    except KeyError:
+        valid = ", ".join(sorted(CONSTRAINT_CLASSES))
+        raise ValueError(f"unknown constraint class {class_name!r}; one of {valid}")
+    return fn(relation, n_constraints, **kwargs)
+
+
+# -- internals ----------------------------------------------------------------
+
+
+def _value_pool(
+    relation: Relation, attrs: Optional[Sequence[str]], k: int
+) -> list[tuple[str, object, int]]:
+    pool = []
+    for attr in _candidate_attrs(relation, attrs):
+        for value, count in _eligible_values(relation, attr, k):
+            pool.append((attr, value, count))
+    return pool
+
+
+def _draw(pool: list, n: int, rng: np.random.Generator) -> list:
+    indices = _draw_indices(len(pool), n, rng)
+    return [pool[i] for i in indices]
+
+
+def _draw_biased(
+    pool: list[tuple[str, object, int]],
+    n: int,
+    rng: np.random.Generator,
+    bias: str,
+) -> list:
+    """Sample values without replacement under a named weighting scheme."""
+    if len(pool) < n:
+        raise ValueError(
+            f"candidate pool of {len(pool)} values cannot supply "
+            f"{n} distinct constraints"
+        )
+    if bias == "minority":
+        weights = np.array([1.0 / count for _, _, count in pool])
+    elif bias == "frequency":
+        weights = np.array([float(count) for _, _, count in pool])
+    elif bias == "uniform":
+        weights = np.ones(len(pool))
+    else:
+        raise ValueError(
+            f"unknown value_bias {bias!r}; expected minority/frequency/uniform"
+        )
+    weights /= weights.sum()
+    indices = rng.choice(len(pool), size=n, replace=False, p=weights)
+    return [pool[i] for i in indices]
+
+
+def _draw_indices(pool_size: int, n: int, rng: np.random.Generator) -> list[int]:
+    if pool_size < n:
+        raise ValueError(
+            f"candidate pool of {pool_size} values cannot supply "
+            f"{n} distinct constraints"
+        )
+    return list(rng.choice(pool_size, size=n, replace=False))
+
+
+def _validate_fractions(alpha: float, beta: float) -> None:
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must lie in (0, 1]")
+    if beta < alpha:
+        raise ValueError("beta must be at least alpha")

@@ -1,0 +1,47 @@
+"""Shared fixtures: the paper's running example and small synthetic data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.data.datasets import make_running_example
+from repro.data.relation import Relation, Schema
+
+
+@pytest.fixture
+def paper_relation() -> Relation:
+    """Table 1 of the paper (tids 1..10)."""
+    return make_running_example()
+
+
+@pytest.fixture
+def paper_constraints() -> ConstraintSet:
+    """Σ = {σ1, σ2, σ3} of Example 3.1."""
+    return ConstraintSet(
+        [
+            DiversityConstraint("ETH", "Asian", 2, 5),
+            DiversityConstraint("ETH", "African", 1, 3),
+            DiversityConstraint("CTY", "Vancouver", 2, 4),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_schema() -> Schema:
+    """Two QI attributes and one sensitive attribute."""
+    return Schema.from_names(qi=["A", "B"], sensitive=["S"])
+
+
+@pytest.fixture
+def tiny_relation(tiny_schema) -> Relation:
+    """Six tuples over (A, B, S) with repeated values."""
+    rows = [
+        ("a1", "b1", "s1"),
+        ("a1", "b1", "s2"),
+        ("a1", "b2", "s1"),
+        ("a2", "b2", "s3"),
+        ("a2", "b2", "s1"),
+        ("a2", "b3", "s2"),
+    ]
+    return Relation(tiny_schema, rows)

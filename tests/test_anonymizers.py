@@ -1,0 +1,173 @@
+"""Unit tests for the baseline k-anonymizers (k-member, OKA, Mondrian)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import (
+    ANONYMIZERS,
+    KMemberAnonymizer,
+    MondrianAnonymizer,
+    OKAAnonymizer,
+    make_anonymizer,
+)
+from repro.anonymize.base import Anonymizer
+from repro.anonymize.encoding import QIEncoder
+from repro.core.errors import AnonymizationError
+from repro.data.datasets import make_credit, make_popsyn
+from repro.data.relation import STAR, generalizes
+from repro.metrics.stats import is_k_anonymous
+
+ALL = [KMemberAnonymizer, OKAAnonymizer, MondrianAnonymizer]
+
+
+@pytest.fixture(scope="module")
+def popsyn():
+    return make_popsyn(seed=5, n_rows=150)
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(ANONYMIZERS) == {
+            "k-member", "oka", "mondrian", "l-diverse-k-member",
+        }
+
+    def test_make(self):
+        assert isinstance(make_anonymizer("k-member"), KMemberAnonymizer)
+        assert isinstance(make_anonymizer("OKA"), OKAAnonymizer)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown anonymizer"):
+            make_anonymizer("nope")
+
+
+class TestEncoder:
+    def test_shape(self, popsyn):
+        enc = QIEncoder(popsyn)
+        assert enc.matrix.shape == (150, 6)
+        assert enc.is_numeric.tolist() == [False, False, True, False, False, False]
+
+    def test_numeric_normalized(self, popsyn):
+        enc = QIEncoder(popsyn)
+        age_col = enc.matrix[:, 2]
+        assert age_col.min() == 0.0 and age_col.max() == 1.0
+
+    def test_distance_zero_to_self(self, popsyn):
+        enc = QIEncoder(popsyn)
+        assert enc.pairwise_distance(0, 0) == 0.0
+
+    def test_distance_bounds(self, popsyn):
+        enc = QIEncoder(popsyn)
+        d = enc.pairwise_distance(0, 1)
+        assert 0.0 <= d <= 6.0  # one unit max per QI column
+
+    def test_rejects_starred_input(self, popsyn):
+        starred = popsyn.suppress_values([(0, "GEN")])
+        with pytest.raises(ValueError, match="suppressed"):
+            QIEncoder(starred)
+
+    def test_rejects_no_qi(self):
+        from repro.data.relation import Relation, Schema
+
+        schema = Schema.from_names(sensitive=["S"])
+        with pytest.raises(ValueError, match="quasi-identifier"):
+            QIEncoder(Relation(schema, [("x",)]))
+
+
+@pytest.mark.parametrize("cls", ALL, ids=lambda c: c.name)
+class TestContract:
+    """Every anonymizer satisfies the k-anonymization contract."""
+
+    def test_output_k_anonymous(self, cls, popsyn):
+        anonymized = cls().anonymize(popsyn, 5)
+        assert is_k_anonymous(anonymized, 5)
+
+    def test_output_generalizes_input(self, cls, popsyn):
+        anonymized = cls().anonymize(popsyn, 5)
+        assert generalizes(popsyn, anonymized)
+
+    def test_covers_all_tuples(self, cls, popsyn):
+        clusters = cls().cluster(popsyn, 5)
+        covered = set().union(*clusters)
+        assert covered == set(popsyn.tids)
+
+    def test_clusters_disjoint(self, cls, popsyn):
+        clusters = cls().cluster(popsyn, 5)
+        total = sum(len(c) for c in clusters)
+        assert total == len(popsyn)
+
+    def test_sensitive_untouched(self, cls, popsyn):
+        anonymized = cls().anonymize(popsyn, 5)
+        for tid, _ in popsyn:
+            assert anonymized.value(tid, "DIAG") == popsyn.value(tid, "DIAG")
+
+    def test_too_few_tuples_raises(self, cls, popsyn):
+        tiny = popsyn.restrict(list(popsyn.tids)[:3])
+        with pytest.raises(AnonymizationError):
+            cls().cluster(tiny, 5)
+
+    def test_empty_relation_passthrough(self, cls, popsyn):
+        empty = popsyn.without(popsyn.tids)
+        assert len(cls().anonymize(empty, 5)) == 0
+
+    def test_k_equals_n(self, cls, popsyn):
+        small = popsyn.restrict(list(popsyn.tids)[:10])
+        anonymized = cls().anonymize(small, 10)
+        assert is_k_anonymous(anonymized, 10)
+        groups = anonymized.qi_groups()
+        assert len(groups) == 1
+
+    def test_deterministic_given_rng(self, cls, popsyn):
+        a = cls(np.random.default_rng(9)).anonymize(popsyn, 5)
+        b = cls(np.random.default_rng(9)).anonymize(popsyn, 5)
+        assert a == b
+
+
+class TestValidation:
+    def test_validate_clusters_size(self, popsyn):
+        with pytest.raises(AnonymizationError, match="violates k"):
+            Anonymizer.validate_clusters(popsyn, [{popsyn.tids[0]}], 5)
+
+    def test_validate_clusters_coverage(self, popsyn):
+        clusters = [set(list(popsyn.tids)[:5])]
+        with pytest.raises(AnonymizationError, match="cover"):
+            Anonymizer.validate_clusters(popsyn, clusters, 5)
+
+    def test_validate_clusters_overlap(self, popsyn):
+        tids = list(popsyn.tids)
+        a = set(tids[:75]) | {tids[80]}
+        b = set(tids[75:])
+        with pytest.raises(AnonymizationError, match="overlap"):
+            Anonymizer.validate_clusters(popsyn, [a, b], 5)
+
+
+class TestQuality:
+    """Looser, behaviour-level expectations."""
+
+    def test_kmember_beats_random_clustering(self, popsyn):
+        """Greedy k-member should star fewer cells than a random partition."""
+        rng = np.random.default_rng(0)
+        tids = list(popsyn.tids)
+        rng.shuffle(tids)
+        random_clusters = [set(tids[i:i + 5]) for i in range(0, len(tids), 5)]
+        from repro.core.suppress import suppress
+
+        random_stars = suppress(popsyn, random_clusters).star_count()
+        kmember_stars = KMemberAnonymizer().anonymize(popsyn, 5).star_count()
+        assert kmember_stars < random_stars
+
+    def test_mondrian_groups_reasonably_sized(self, popsyn):
+        anonymized = MondrianAnonymizer().anonymize(popsyn, 5)
+        groups = anonymized.qi_groups()
+        # Strict Mondrian splits while both halves ≥ k: groups < 4k typical.
+        assert max(len(g) for g in groups.values()) <= len(popsyn)
+
+    def test_higher_k_more_stars(self, popsyn):
+        low = KMemberAnonymizer().anonymize(popsyn, 3).star_count()
+        high = KMemberAnonymizer().anonymize(popsyn, 15).star_count()
+        assert high >= low
+
+    def test_credit_dataset_all_baselines(self):
+        relation = make_credit(seed=1, n_rows=200)
+        for cls in ALL:
+            anonymized = cls().anonymize(relation, 10)
+            assert is_k_anonymous(anonymized, 10), cls.name

@@ -1,0 +1,165 @@
+"""Tests for the benchmark harness, reporting, and ablation modules."""
+
+import pytest
+
+from repro.bench.ablation import (
+    ablation_candidate_cap,
+    ablation_constraint_class,
+    ablation_dynamic_candidates,
+)
+from repro.bench.harness import (
+    Experiment,
+    SeriesPoint,
+    fig4ab_vs_nconstraints,
+    fig4c_vs_conflict,
+    fig4d_vs_distribution,
+    fig5ab_vs_k,
+    fig5cd_vs_size,
+    run_baseline_point,
+    run_diva_point,
+    table4_characteristics,
+)
+from repro.bench.reporting import experiment_table, experiment_to_csv, format_table
+from repro.data.datasets import make_popsyn
+from repro.workloads.constraint_gen import proportion_constraints
+
+# Tiny parameters: these tests check plumbing, not paper shapes.
+TINY = dict(n_rows=120, k=3)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_popsyn(seed=20, n_rows=120)
+
+
+@pytest.fixture(scope="module")
+def sigma(relation):
+    return proportion_constraints(relation, 3, k=3, seed=20)
+
+
+class TestPoints:
+    def test_run_diva_point(self, relation, sigma):
+        point = run_diva_point(relation, sigma, 3, "maxfanout")
+        assert point.runtime > 0
+        assert 0.0 <= point.accuracy <= 1.0
+        assert {"stars", "star_ratio", "dropped", "backtracks"} <= set(point.extras)
+
+    def test_run_baseline_point(self, relation):
+        point = run_baseline_point(relation, 3, "mondrian")
+        assert point.runtime > 0
+        assert point.extras["stars"] >= 0
+
+    def test_experiment_add(self):
+        experiment = Experiment(figure="x")
+        experiment.add("s", SeriesPoint(x=1, runtime=0.1, accuracy=0.5))
+        experiment.add("s", SeriesPoint(x=2, runtime=0.2, accuracy=0.4))
+        assert len(experiment.series["s"]) == 2
+
+
+class TestExperiments:
+    """Each figure function runs end to end at toy scale."""
+
+    def test_fig4ab(self):
+        experiment = fig4ab_vs_nconstraints(
+            sigma_sizes=(2, 3), dataset="popsyn", n_rows=120, k=3,
+            strategies=("maxfanout",),
+        )
+        assert set(experiment.series) == {"maxfanout"}
+        assert [p.x for p in experiment.series["maxfanout"]] == [2, 3]
+
+    def test_fig4c(self):
+        experiment = fig4c_vs_conflict(
+            conflict_targets=(0.0, 1.0), dataset="popsyn", n_rows=120,
+            n_constraints=3, k=3, strategies=("maxfanout",),
+        )
+        points = experiment.series["maxfanout"]
+        assert points[0].extras["achieved_cf"] <= points[1].extras["achieved_cf"]
+
+    def test_fig4d(self):
+        experiment = fig4d_vs_distribution(
+            distributions=("uniform", "zipfian"), n_rows=120,
+            n_constraints=3, k=3, seeds=(0,), strategies=("maxfanout",),
+        )
+        xs = {p.x for p in experiment.series["maxfanout"]}
+        assert xs == {"uniform", "zipfian"}
+        for point in experiment.series["maxfanout"]:
+            assert "conflict_rate" in point.extras
+
+    def test_fig5ab(self):
+        experiment = fig5ab_vs_k(
+            k_values=(3,), dataset="popsyn", n_rows=120, n_constraints=3,
+            algorithms=("maxfanout", "mondrian"),
+        )
+        assert set(experiment.series) == {"maxfanout", "mondrian"}
+
+    def test_fig5cd(self):
+        experiment = fig5cd_vs_size(
+            sizes=(100, 150), dataset="popsyn", n_constraints=3, k=3,
+            algorithms=("k-member",),
+        )
+        assert [p.x for p in experiment.series["k-member"]] == [100, 150]
+
+    def test_table4(self):
+        rows = table4_characteristics(
+            n_rows={"pantheon": 100, "census": 100, "credit": 100, "popsyn": 100},
+            n_constraints={"pantheon": 2, "census": 2, "credit": 2, "popsyn": 2},
+        )
+        assert [r["dataset"] for r in rows] == [
+            "pantheon", "census", "credit", "popsyn",
+        ]
+        assert all(r["|R|"] == 100 for r in rows)
+
+
+class TestAblations:
+    def test_candidate_cap(self):
+        experiment = ablation_candidate_cap(
+            caps=(4, 16), dataset="popsyn", n_rows=120, n_constraints=3, k=3
+        )
+        assert [p.x for p in experiment.series["maxfanout"]] == [4, 16]
+
+    def test_dynamic(self):
+        outcome = ablation_dynamic_candidates(n_rows=120, k=3)
+        assert set(outcome) == {"dynamic", "static"}
+        assert outcome["dynamic"]["candidates_tried"] >= 0
+
+    def test_constraint_class(self):
+        experiment = ablation_constraint_class(n_rows=120, n_constraints=3, k=3)
+        assert set(experiment.series) == {
+            "proportion", "min_frequency", "average",
+        }
+
+
+class TestReporting:
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_experiment_table_metrics(self):
+        experiment = Experiment(figure="f")
+        experiment.add("s1", SeriesPoint(x=1, runtime=0.5, accuracy=0.9,
+                                         extras={"stars": 3}))
+        experiment.add("s2", SeriesPoint(x=1, runtime=0.7, accuracy=0.8))
+        for metric in ("accuracy", "runtime", "stars"):
+            text = experiment_table(experiment, metric)
+            assert "s1" in text and "s2" in text
+
+    def test_experiment_table_missing_cell(self):
+        experiment = Experiment(figure="f")
+        experiment.add("s1", SeriesPoint(x=1, runtime=0.5, accuracy=0.9))
+        experiment.add("s2", SeriesPoint(x=2, runtime=0.7, accuracy=0.8))
+        text = experiment_table(experiment, "accuracy")
+        assert "s1" in text  # renders despite ragged series
+
+    def test_csv_export(self, tmp_path):
+        experiment = Experiment(figure="f")
+        experiment.add("s", SeriesPoint(x=1, runtime=0.5, accuracy=0.9))
+        path = tmp_path / "out.csv"
+        experiment_to_csv(experiment, path)
+        content = path.read_text().splitlines()
+        assert content[0].startswith("figure,series,x")
+        assert content[1].startswith("f,s,1")

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_constraint_file, main
+from repro.data.loaders import load_relation, save_relation
+from repro.data.datasets import make_running_example
+from repro.metrics.stats import is_k_anonymous
+
+
+@pytest.fixture
+def csv_relation(tmp_path):
+    path = tmp_path / "input.csv"
+    save_relation(make_running_example(), path)
+    return path
+
+
+@pytest.fixture
+def constraints_file(tmp_path):
+    path = tmp_path / "sigma.txt"
+    path.write_text(
+        "# the paper's running example\n"
+        "ETH[Asian], 2, 5\n"
+        "ETH[African], 1, 3\n"
+        "\n"
+        "CTY[Vancouver], 2, 4\n"
+    )
+    return path
+
+
+class TestConstraintFile:
+    def test_parse(self, constraints_file):
+        sigma = load_constraint_file(constraints_file)
+        assert len(sigma) == 3
+        assert sigma[0].attrs == ("ETH",)
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("this is not a constraint\n")
+        with pytest.raises(SystemExit, match="cannot parse"):
+            load_constraint_file(path)
+
+
+class TestAnonymize:
+    def test_end_to_end(self, csv_relation, constraints_file, tmp_path, capsys):
+        out = tmp_path / "out.csv"
+        rc = main(
+            [
+                "anonymize", str(csv_relation), str(out),
+                "-k", "2", "-c", str(constraints_file),
+            ]
+        )
+        assert rc == 0
+        published = load_relation(out)
+        assert is_k_anonymous(published, 2)
+        sigma = load_constraint_file(constraints_file)
+        assert sigma.is_satisfied_by(published)
+        assert "accuracy=" in capsys.readouterr().out
+
+    def test_without_constraints(self, csv_relation, tmp_path):
+        out = tmp_path / "out.csv"
+        rc = main(["anonymize", str(csv_relation), str(out), "-k", "2"])
+        assert rc == 0
+        assert is_k_anonymous(load_relation(out), 2)
+
+    def test_best_effort_flag(self, csv_relation, constraints_file, tmp_path, capsys):
+        out = tmp_path / "out.csv"
+        rc = main(
+            [
+                "anonymize", str(csv_relation), str(out),
+                "-k", "3", "-c", str(constraints_file), "--best-effort",
+            ]
+        )
+        assert rc == 0
+        assert "dropped" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_valid_output_passes(self, csv_relation, constraints_file, tmp_path, capsys):
+        out = tmp_path / "out.csv"
+        main(
+            [
+                "anonymize", str(csv_relation), str(out),
+                "-k", "2", "-c", str(constraints_file),
+            ]
+        )
+        rc = main(
+            [
+                "check", str(out), "-k", "2",
+                "-c", str(constraints_file),
+                "--original", str(csv_relation),
+            ]
+        )
+        assert rc == 0
+
+    def test_original_fails_k(self, csv_relation, capsys):
+        rc = main(["check", str(csv_relation), "-k", "2"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestDataset:
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "credit.csv"
+        rc = main(["dataset", "credit", str(out), "--rows", "50"])
+        assert rc == 0
+        relation = load_relation(out)
+        assert len(relation) == 50
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dataset", "mnist", str(tmp_path / "x.csv")])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_unknown_artifact(self):
+        with pytest.raises(SystemExit, match="unknown artifact"):
+            main(["bench", "fig99"])
+
+
+class TestBenchCommand:
+    def test_table4_artifact(self, capsys, monkeypatch):
+        """The bench subcommand renders an artifact's series."""
+        import repro.bench.harness as harness
+
+        original = harness.table4_characteristics
+
+        def tiny_table4(**kwargs):
+            return original(
+                n_rows={"pantheon": 60, "census": 60, "credit": 60, "popsyn": 60},
+                n_constraints={"pantheon": 2, "census": 2, "credit": 2, "popsyn": 2},
+            )
+
+        monkeypatch.setattr(harness, "table4_characteristics", tiny_table4)
+        rc = main(["bench", "table4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dataset" in out and "credit" in out

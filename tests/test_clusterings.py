@@ -1,0 +1,164 @@
+"""Unit tests for Clusterings(σ, R) enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core.clusterings import (
+    cluster_suppression_cost,
+    clustering_suppression_cost,
+    enumerate_clusterings,
+    preserved_count,
+    qi_distance,
+)
+from repro.core.constraints import DiversityConstraint
+from repro.core.suppress import suppress
+
+
+def _as_sets(clusterings):
+    return {tuple(sorted(tuple(sorted(c)) for c in s)) for s in clusterings}
+
+
+class TestQiDistance:
+    def test_identical(self, paper_relation):
+        assert qi_distance(paper_relation, 1, 1) == 0
+
+    def test_counts_differing_qi(self, paper_relation):
+        # t1 vs t2: only AGE differs among the five QI attributes.
+        assert qi_distance(paper_relation, 1, 2) == 1
+
+    def test_symmetry(self, paper_relation):
+        assert qi_distance(paper_relation, 3, 8) == qi_distance(paper_relation, 8, 3)
+
+
+class TestSuppressionCost:
+    def test_singleton_is_free(self, paper_relation):
+        assert cluster_suppression_cost(paper_relation, frozenset({1})) == 0
+
+    def test_pair_cost_matches_suppress_stars(self, paper_relation):
+        cluster = frozenset({9, 10})
+        cost = cluster_suppression_cost(paper_relation, cluster)
+        suppressed = suppress(paper_relation, [cluster])
+        assert cost == suppressed.star_count()
+
+    def test_clustering_cost_additive(self, paper_relation):
+        a, b = frozenset({1, 2}), frozenset({5, 6})
+        assert clustering_suppression_cost(paper_relation, (a, b)) == (
+            cluster_suppression_cost(paper_relation, a)
+            + cluster_suppression_cost(paper_relation, b)
+        )
+
+
+class TestPreservedCount:
+    def test_uniform_matching_cluster(self, paper_relation):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert preserved_count(paper_relation, (frozenset({9, 10}),), sigma) == 2
+
+    def test_mixed_cluster_contributes_zero(self, paper_relation):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert preserved_count(paper_relation, (frozenset({7, 8}),), sigma) == 0
+
+    def test_uniform_non_matching_cluster(self, paper_relation):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert preserved_count(paper_relation, (frozenset({5, 6}),), sigma) == 0
+
+    def test_agrees_with_suppress_semantics(self, paper_relation):
+        """preserved_count must equal the count measured on Suppress output."""
+        sigma = DiversityConstraint("CTY", "Vancouver", 2, 4)
+        for clusters in [({6, 7},), ({7, 8}, {9, 10}), ({6, 7, 10},)]:
+            clusters = tuple(frozenset(c) for c in clusters)
+            expected = sigma.count(suppress(paper_relation, clusters))
+            assert preserved_count(paper_relation, clusters, sigma) == expected
+
+    def test_multi_attribute(self, paper_relation):
+        sigma = DiversityConstraint(["GEN", "ETH"], ["Female", "Asian"], 1, 5)
+        assert preserved_count(paper_relation, (frozenset({8, 9, 10}),), sigma) == 3
+        assert preserved_count(paper_relation, (frozenset({7, 8}),), sigma) == 0
+
+
+class TestEnumerateClusterings:
+    def test_paper_sigma1(self, paper_relation):
+        """Clusterings(σ1, R) at k=2: the four clusterings of Example 3.3."""
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        found = enumerate_clusterings(paper_relation, sigma, k=2)
+        expected = {
+            ((8, 9),), ((8, 10),), ((9, 10),), ((8, 9, 10),),
+        }
+        assert _as_sets(found) == expected
+
+    def test_paper_sigma2_single_choice(self, paper_relation):
+        """Clusterings(σ2, R) contains exactly {{t5, t6}}."""
+        sigma = DiversityConstraint("ETH", "African", 1, 3)
+        found = enumerate_clusterings(paper_relation, sigma, k=2)
+        assert _as_sets(found) == {((5, 6),)}
+
+    def test_paper_sigma3_contains_multi_cluster(self, paper_relation):
+        """Clusterings(σ3, R) includes pairs and the two-cluster {{6,7},{8,10}}."""
+        sigma = DiversityConstraint("CTY", "Vancouver", 2, 4)
+        found = _as_sets(enumerate_clusterings(paper_relation, sigma, k=2, max_candidates=200))
+        assert ((6, 7),) in found
+        assert ((7, 8),) in found
+        assert ((6, 7, 10),) in found
+        assert ((6, 7), (8, 10)) in found
+
+    def test_every_candidate_satisfies_sigma(self, paper_relation):
+        sigma = DiversityConstraint("CTY", "Vancouver", 2, 4)
+        for clustering in enumerate_clusterings(paper_relation, sigma, k=2):
+            suppressed = suppress(paper_relation, clustering)
+            assert sigma.is_satisfied_by(suppressed), clustering
+
+    def test_cluster_sizes_at_least_k(self, paper_relation):
+        sigma = DiversityConstraint("CTY", "Vancouver", 2, 4)
+        for clustering in enumerate_clusterings(paper_relation, sigma, k=3):
+            for cluster in clustering:
+                assert len(cluster) >= 3
+
+    def test_infeasible_returns_empty(self, paper_relation):
+        # Only 2 Africans but k=3 and λl=1 → needs 3 target tuples.
+        sigma = DiversityConstraint("ETH", "African", 1, 3)
+        assert enumerate_clusterings(paper_relation, sigma, k=3) == []
+
+    def test_zero_lower_bound_yields_empty_clustering_first(self, paper_relation):
+        sigma = DiversityConstraint("ETH", "African", 0, 3)
+        found = enumerate_clusterings(paper_relation, sigma, k=2)
+        assert found[0] == ()
+
+    def test_cost_ordering(self, paper_relation):
+        """First non-empty candidate is minimal-suppression."""
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        found = enumerate_clusterings(paper_relation, sigma, k=2)
+        costs = [clustering_suppression_cost(paper_relation, c) for c in found]
+        assert costs[0] == min(costs)
+
+    def test_max_candidates_cap(self, paper_relation):
+        sigma = DiversityConstraint("CTY", "Vancouver", 2, 4)
+        found = enumerate_clusterings(paper_relation, sigma, k=2, max_candidates=2)
+        assert len(found) == 2
+
+    def test_deterministic_given_rng(self, paper_relation):
+        sigma = DiversityConstraint("CTY", "Vancouver", 2, 4)
+        a = enumerate_clusterings(
+            paper_relation, sigma, k=2, rng=np.random.default_rng(7)
+        )
+        b = enumerate_clusterings(
+            paper_relation, sigma, k=2, rng=np.random.default_rng(7)
+        )
+        assert a == b
+
+    def test_invalid_k(self, paper_relation):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        with pytest.raises(ValueError):
+            enumerate_clusterings(paper_relation, sigma, k=0)
+
+    def test_large_pool_sampled_path(self):
+        """Exercise the similarity-seeded sampling branch."""
+        from repro.data.datasets import make_popsyn
+
+        relation = make_popsyn(seed=1, n_rows=400)
+        counts = relation.value_counts("ETH")
+        value, count = counts.most_common(1)[0]
+        sigma = DiversityConstraint("ETH", value, 5, count)
+        found = enumerate_clusterings(relation, sigma, k=5, max_candidates=16)
+        assert 0 < len(found) <= 16
+        for clustering in found:
+            suppressed = suppress(relation, clustering)
+            assert sigma.is_satisfied_by(suppressed)

@@ -1,0 +1,176 @@
+"""Unit tests for diversity constraints (Definition 2.3)."""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.errors import ConstraintFormatError
+from repro.data.relation import Relation, Schema
+
+
+class TestConstruction:
+    def test_single_attribute(self):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert sigma.attrs == ("ETH",)
+        assert sigma.values == ("Asian",)
+        assert (sigma.lower, sigma.upper) == (2, 5)
+        assert sigma.is_single_attribute
+
+    def test_multi_attribute(self):
+        sigma = DiversityConstraint(["GEN", "ETH"], ["Male", "Asian"], 1, 3)
+        assert sigma.attrs == ("GEN", "ETH")
+        assert not sigma.is_single_attribute
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ConstraintFormatError, match="values"):
+            DiversityConstraint(["A", "B"], ["x"], 1, 2)
+
+    def test_repeated_attribute(self):
+        with pytest.raises(ConstraintFormatError, match="repeated"):
+            DiversityConstraint(["A", "A"], ["x", "y"], 1, 2)
+
+    def test_empty_attrs(self):
+        with pytest.raises(ConstraintFormatError):
+            DiversityConstraint([], [], 1, 2)
+
+    def test_negative_bounds(self):
+        with pytest.raises(ConstraintFormatError, match="non-negative"):
+            DiversityConstraint("A", "x", -1, 2)
+
+    def test_inverted_bounds(self):
+        with pytest.raises(ConstraintFormatError, match="exceeds"):
+            DiversityConstraint("A", "x", 5, 2)
+
+    def test_non_integer_bounds(self):
+        with pytest.raises(ConstraintFormatError, match="integers"):
+            DiversityConstraint("A", "x", 1.5, 2)
+
+    def test_zero_bounds_allowed(self):
+        sigma = DiversityConstraint("A", "x", 0, 0)
+        assert (sigma.lower, sigma.upper) == (0, 0)
+
+
+class TestParsing:
+    def test_parse_single(self):
+        sigma = DiversityConstraint.parse("ETH[Asian], 2, 5")
+        assert sigma == DiversityConstraint("ETH", "Asian", 2, 5)
+
+    def test_parse_multi(self):
+        sigma = DiversityConstraint.parse("GEN,ETH[Male,Asian], 1, 3")
+        assert sigma == DiversityConstraint(
+            ["GEN", "ETH"], ["Male", "Asian"], 1, 3
+        )
+
+    def test_parse_whitespace_tolerant(self):
+        sigma = DiversityConstraint.parse("  CTY[Vancouver] ,2, 4 ")
+        assert sigma == DiversityConstraint("CTY", "Vancouver", 2, 4)
+
+    def test_parse_garbage(self):
+        with pytest.raises(ConstraintFormatError):
+            DiversityConstraint.parse("not a constraint")
+
+    def test_parse_arity_mismatch(self):
+        with pytest.raises(ConstraintFormatError):
+            DiversityConstraint.parse("GEN,ETH[Male], 1, 3")
+
+    def test_repr_round_trip_style(self):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert repr(sigma) == "(ETH[Asian], 2, 5)"
+
+
+class TestSemantics:
+    def test_count(self, paper_relation):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert sigma.count(paper_relation) == 3
+
+    def test_target_tids(self, paper_relation):
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert sigma.target_tids(paper_relation) == {8, 9, 10}
+
+    def test_paper_target_sets(self, paper_relation):
+        """I(σ1), I(σ2), I(σ3) from Example 3.3."""
+        s1 = DiversityConstraint("ETH", "Asian", 2, 5)
+        s2 = DiversityConstraint("ETH", "African", 1, 3)
+        s3 = DiversityConstraint("CTY", "Vancouver", 2, 4)
+        assert s1.target_tids(paper_relation) == {8, 9, 10}
+        assert s2.target_tids(paper_relation) == {5, 6}
+        assert s3.target_tids(paper_relation) == {6, 7, 8, 10}
+
+    def test_satisfied(self, paper_relation):
+        assert DiversityConstraint("ETH", "Asian", 2, 5).is_satisfied_by(
+            paper_relation
+        )
+        assert not DiversityConstraint("ETH", "Asian", 4, 5).is_satisfied_by(
+            paper_relation
+        )
+        assert not DiversityConstraint("ETH", "Asian", 0, 2).is_satisfied_by(
+            paper_relation
+        )
+
+    def test_multi_attribute_count(self, paper_relation):
+        sigma = DiversityConstraint(
+            ["GEN", "ETH"], ["Female", "Asian"], 1, 10
+        )
+        assert sigma.count(paper_relation) == 3
+
+    def test_suppression_reduces_count(self, paper_relation):
+        starred = paper_relation.suppress_values([(8, "ETH")])
+        sigma = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert sigma.count(starred) == 2
+
+    def test_validate_against(self, paper_relation):
+        DiversityConstraint("ETH", "Asian", 1, 2).validate_against(
+            paper_relation.schema
+        )
+        with pytest.raises(KeyError):
+            DiversityConstraint("NOPE", "x", 1, 2).validate_against(
+                paper_relation.schema
+            )
+
+    def test_equality_and_hash(self):
+        a = DiversityConstraint("A", "x", 1, 2)
+        b = DiversityConstraint("A", "x", 1, 2)
+        c = DiversityConstraint("A", "x", 1, 3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestConstraintSet:
+    def test_satisfaction(self, paper_relation, paper_constraints):
+        assert paper_constraints.is_satisfied_by(paper_relation)
+
+    def test_violations_reported(self, paper_relation):
+        sigma = ConstraintSet([DiversityConstraint("ETH", "Asian", 4, 5)])
+        violations = sigma.violations(paper_relation)
+        assert len(violations) == 1
+        constraint, count = violations[0]
+        assert count == 3
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConstraintFormatError, match="duplicate"):
+            ConstraintSet(
+                [
+                    DiversityConstraint("A", "x", 1, 2),
+                    DiversityConstraint("A", "x", 1, 2),
+                ]
+            )
+
+    def test_parse_strings(self):
+        sigma = ConstraintSet(["ETH[Asian], 2, 5", "CTY[Vancouver], 2, 4"])
+        assert len(sigma) == 2
+        assert sigma[0] == DiversityConstraint("ETH", "Asian", 2, 5)
+
+    def test_iteration_and_contains(self, paper_constraints):
+        constraints = list(paper_constraints)
+        assert len(constraints) == 3
+        assert constraints[0] in paper_constraints
+
+    def test_target_map(self, paper_relation, paper_constraints):
+        mapping = paper_constraints.target_map(paper_relation)
+        assert mapping[paper_constraints[0]] == {8, 9, 10}
+
+    def test_empty_set_satisfied(self, paper_relation):
+        assert ConstraintSet().is_satisfied_by(paper_relation)
+
+    def test_equality(self, paper_constraints):
+        clone = ConstraintSet(list(paper_constraints))
+        assert clone == paper_constraints

@@ -1,0 +1,171 @@
+"""Unit tests for the synthetic dataset generators and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASETS,
+    load_dataset,
+    make_census,
+    make_credit,
+    make_pantheon,
+    make_popsyn,
+    make_running_example,
+)
+from repro.data.distributions import (
+    DISTRIBUTIONS,
+    gaussian_values,
+    numeric_ages,
+    sample_values,
+    uniform_values,
+    zipfian_values,
+)
+
+
+class TestDistributions:
+    def test_registry(self):
+        assert set(DISTRIBUTIONS) == {"uniform", "zipfian", "gaussian"}
+
+    def test_sample_by_name(self):
+        rng = np.random.default_rng(0)
+        values = sample_values("uniform", rng, ["a", "b"], 100)
+        assert len(values) == 100
+        assert set(values) <= {"a", "b"}
+
+    def test_unknown_name(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="unknown distribution"):
+            sample_values("pareto", rng, ["a"], 1)
+
+    def test_empty_domain_rejected(self):
+        rng = np.random.default_rng(0)
+        for fn in (uniform_values, zipfian_values, gaussian_values):
+            with pytest.raises(ValueError, match="non-empty"):
+                fn(rng, [], 5)
+
+    def test_zipf_skew(self):
+        """Zipfian rank-1 value dominates rank-10."""
+        rng = np.random.default_rng(1)
+        domain = list(range(10))
+        values = zipfian_values(rng, domain, 5000)
+        counts = [values.count(v) for v in domain]
+        assert counts[0] > 3 * counts[-1]
+
+    def test_uniform_balanced(self):
+        rng = np.random.default_rng(2)
+        domain = list(range(5))
+        values = uniform_values(rng, domain, 5000)
+        counts = [values.count(v) for v in domain]
+        assert max(counts) < 1.3 * min(counts)
+
+    def test_gaussian_center_heavy(self):
+        rng = np.random.default_rng(3)
+        domain = list(range(9))
+        values = gaussian_values(rng, domain, 5000)
+        counts = [values.count(v) for v in domain]
+        assert counts[4] > counts[0]
+        assert counts[4] > counts[8]
+
+    def test_gaussian_within_domain(self):
+        rng = np.random.default_rng(4)
+        values = gaussian_values(rng, ["x", "y", "z"], 1000)
+        assert set(values) <= {"x", "y", "z"}
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipfian_values(rng, ["a"], 5, exponent=0)
+        with pytest.raises(ValueError):
+            gaussian_values(rng, ["a"], 5, spread=0)
+
+    def test_ages_in_range(self):
+        rng = np.random.default_rng(5)
+        ages = numeric_ages(rng, 1000)
+        assert all(18 <= a <= 90 for a in ages)
+
+
+class TestRunningExample:
+    def test_matches_table1(self):
+        relation = make_running_example()
+        assert len(relation) == 10
+        assert relation.tids == tuple(range(1, 11))
+        assert relation.record(1) == {
+            "GEN": "Female", "ETH": "Caucasian", "AGE": 80,
+            "PRV": "AB", "CTY": "Calgary", "DIAG": "Hypertension",
+        }
+        assert relation.schema.qi_names == ("GEN", "ETH", "AGE", "PRV", "CTY")
+        assert relation.schema.sensitive_names == ("DIAG",)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_deterministic(self, name):
+        a = load_dataset(name, seed=7, n_rows=50)
+        b = load_dataset(name, seed=7, n_rows=50)
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_seed_changes_data(self, name):
+        a = load_dataset(name, seed=1, n_rows=50)
+        b = load_dataset(name, seed=2, n_rows=50)
+        assert a != b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_pantheon_shape(self):
+        relation = make_pantheon(seed=0, n_rows=300)
+        assert len(relation) == 300
+        assert len(relation.schema) == 17  # paper Table 4: n = 17
+        assert len(relation.schema.qi_names) == 10
+
+    def test_census_shape(self):
+        relation = make_census(seed=0, n_rows=200)
+        assert len(relation) == 200
+        assert len(relation.schema) == 40  # paper Table 4: n = 40
+        assert relation.schema.sensitive_names == ("INCOME",)
+
+    def test_credit_shape(self):
+        relation = make_credit(seed=0)
+        assert len(relation) == 1000      # paper Table 4: |R| = 1000
+        assert len(relation.schema) == 20  # paper Table 4: n = 20
+        assert relation.schema.sensitive_names == ("RISK",)
+
+    def test_credit_small_qi_projection(self):
+        """Paper Table 4: |ΠQI(R)| = 60 for Credit — ours is the same regime."""
+        relation = make_credit(seed=0)
+        projection = relation.distinct_projection_size()
+        assert projection <= 200
+
+    def test_popsyn_shape(self):
+        relation = make_popsyn(seed=0, n_rows=400)
+        assert len(relation) == 400
+        assert len(relation.schema) == 7  # paper Table 4: n = 7
+
+    def test_popsyn_distributions_differ(self):
+        uniform = make_popsyn(seed=0, n_rows=2000, distribution="uniform")
+        zipf = make_popsyn(seed=0, n_rows=2000, distribution="zipfian")
+        eth_uniform = uniform.value_counts("ETH")
+        eth_zipf = zipf.value_counts("ETH")
+        assert max(eth_zipf.values()) > max(eth_uniform.values())
+
+    def test_city_consistent_with_province(self):
+        from repro.data.datasets import PROVINCES
+
+        relation = make_popsyn(seed=0, n_rows=300)
+        for tid, _ in relation:
+            prv = relation.value(tid, "PRV")
+            cty = relation.value(tid, "CTY")
+            assert cty in PROVINCES[prv]
+
+    def test_geography_in_pantheon_city_matches_country(self):
+        relation = make_pantheon(seed=0, n_rows=100)
+        for tid, _ in relation:
+            country = relation.value(tid, "COUNTRY")
+            city = relation.value(tid, "CITY")
+            assert city.startswith(country)
+
+    def test_load_dataset_rows_override(self):
+        relation = load_dataset("census", n_rows=77)
+        assert len(relation) == 77

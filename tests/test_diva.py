@@ -1,0 +1,187 @@
+"""Integration tests for the full DIVA pipeline (Algorithm 1)."""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.diva import Diva, run_diva
+from repro.core.errors import UnsatisfiableError
+from repro.core.problem import KSigmaProblem
+from repro.data.datasets import make_popsyn
+from repro.data.relation import generalizes
+from repro.metrics.stats import is_k_anonymous
+from repro.workloads.constraint_gen import proportion_constraints
+
+
+class TestPaperExample:
+    """Example 3.1: R of Table 1, k=2, Σ = {σ1, σ2, σ3}."""
+
+    def test_solution_is_valid(self, paper_relation, paper_constraints):
+        result = run_diva(paper_relation, paper_constraints, k=2)
+        problem = KSigmaProblem(paper_relation, paper_constraints, 2)
+        assert problem.validate_solution(result.relation) == []
+
+    def test_all_tuples_present(self, paper_relation, paper_constraints):
+        result = run_diva(paper_relation, paper_constraints, k=2)
+        assert set(result.relation.tids) == set(paper_relation.tids)
+
+    def test_result_pieces(self, paper_relation, paper_constraints):
+        result = run_diva(paper_relation, paper_constraints, k=2)
+        assert result.fully_diverse
+        assert len(result.satisfied) == 3
+        assert result.r_sigma is not None and result.r_k is not None
+        assert set(result.r_sigma.tids) | set(result.r_k.tids) == set(
+            paper_relation.tids
+        )
+        assert set(result.r_sigma.tids).isdisjoint(result.r_k.tids)
+
+    def test_timings_cover_phases(self, paper_relation, paper_constraints):
+        result = run_diva(paper_relation, paper_constraints, k=2)
+        assert set(result.timings) == {
+            "diverse_clustering", "suppress", "anonymize", "integrate",
+        }
+        assert result.total_time > 0
+
+    def test_every_strategy(self, paper_relation, paper_constraints):
+        for strategy in ("basic", "minchoice", "maxfanout"):
+            result = run_diva(
+                paper_relation, paper_constraints, k=2, strategy=strategy
+            )
+            assert paper_constraints.is_satisfied_by(result.relation), strategy
+
+    def test_every_anonymizer(self, paper_relation, paper_constraints):
+        for anonymizer in ("k-member", "oka", "mondrian"):
+            result = run_diva(
+                paper_relation, paper_constraints, k=2, anonymizer=anonymizer
+            )
+            assert is_k_anonymous(result.relation, 2), anonymizer
+            assert paper_constraints.is_satisfied_by(result.relation), anonymizer
+
+    def test_output_generalizes_input(self, paper_relation, paper_constraints):
+        result = run_diva(paper_relation, paper_constraints, k=2)
+        assert generalizes(paper_relation, result.relation)
+
+
+class TestFailureModes:
+    def test_strict_unsatisfiable_raises(self, paper_relation, paper_constraints):
+        """k=3 makes the African constraint impossible (2 target tuples)."""
+        with pytest.raises(UnsatisfiableError):
+            run_diva(paper_relation, paper_constraints, k=3)
+
+    def test_best_effort_drops_and_continues(
+        self, paper_relation, paper_constraints
+    ):
+        result = run_diva(
+            paper_relation, paper_constraints, k=3, best_effort=True
+        )
+        assert not result.fully_diverse
+        assert len(result.dropped) >= 1
+        assert is_k_anonymous(result.relation, 3)
+        # The surviving constraints are actually satisfied.
+        assert ConstraintSet(result.satisfied).is_satisfied_by(result.relation)
+
+    def test_unsat_error_carries_constraints(self, paper_relation):
+        constraints = ConstraintSet(
+            [DiversityConstraint("ETH", "African", 1, 3)]
+        )
+        with pytest.raises(UnsatisfiableError) as excinfo:
+            run_diva(paper_relation, constraints, k=4)
+        assert excinfo.value.unsatisfied
+
+    def test_empty_sigma_is_plain_anonymization(self, paper_relation):
+        result = run_diva(paper_relation, ConstraintSet(), k=2)
+        assert is_k_anonymous(result.relation, 2)
+        assert result.clustering == ()
+
+
+class TestSmallRemainder:
+    def test_leftovers_absorbed(self, paper_relation):
+        """Σ covering 8 of 10 tuples leaves 2 < k=3 leftovers to absorb."""
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("GEN", "Male", 4, 6),
+                DiversityConstraint("GEN", "Female", 4, 6),
+            ]
+        )
+        result = run_diva(paper_relation, constraints, k=3, seed=1)
+        assert set(result.relation.tids) == set(paper_relation.tids)
+        assert is_k_anonymous(result.relation, 3)
+        assert constraints.is_satisfied_by(result.relation)
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self, paper_relation, paper_constraints):
+        a = run_diva(paper_relation, paper_constraints, k=2, seed=11)
+        b = run_diva(paper_relation, paper_constraints, k=2, seed=11)
+        assert a.relation == b.relation
+
+    def test_solver_reusable(self, paper_relation, paper_constraints):
+        solver = Diva(seed=3)
+        a = solver.run(paper_relation, paper_constraints, 2)
+        b = solver.run(paper_relation, paper_constraints, 2)
+        assert a.relation == b.relation
+
+
+class TestSynthetic:
+    def test_popsyn_end_to_end(self):
+        relation = make_popsyn(seed=2, n_rows=200)
+        constraints = proportion_constraints(relation, 6, k=4, seed=2)
+        result = run_diva(relation, constraints, k=4, best_effort=True)
+        assert is_k_anonymous(result.relation, 4)
+        assert ConstraintSet(result.satisfied).is_satisfied_by(result.relation)
+
+    def test_integration_repairs_reported(self):
+        relation = make_popsyn(seed=3, n_rows=200)
+        # Tight upper bounds force Integrate to repair.
+        counts = relation.value_counts("ETH")
+        value, count = counts.most_common(1)[0]
+        constraints = ConstraintSet(
+            [DiversityConstraint("ETH", value, 4, max(4, count // 4))]
+        )
+        result = run_diva(relation, constraints, k=4, best_effort=True)
+        if result.satisfied:
+            sigma = result.satisfied[0]
+            assert sigma.count(result.relation) <= sigma.upper
+
+
+class TestSummary:
+    def test_summary_renders(self, paper_relation, paper_constraints):
+        result = run_diva(paper_relation, paper_constraints, k=2)
+        text = result.summary()
+        assert "10 tuples published" in text
+        assert "3 satisfied, 0 dropped" in text
+        assert "starred cell" in text
+        assert "candidates tried" in text
+
+    def test_summary_lists_dropped(self, paper_relation, paper_constraints):
+        result = run_diva(
+            paper_relation, paper_constraints, k=3, best_effort=True
+        )
+        text = result.summary()
+        assert "dropped (" in text
+
+
+class TestBudgetDecay:
+    def test_many_drop_scenario_terminates_quickly(self):
+        """Repeated coloring failures stay bounded by the decaying budget."""
+        import time
+
+        from repro.data.datasets import make_popsyn
+
+        relation = make_popsyn(seed=21, n_rows=200, distribution="zipfian")
+        # Deliberately over-constrained: every ethnicity and province value
+        # must keep 90% representation — heavy overlap, many failures.
+        constraints = []
+        for attr in ("ETH", "PRV", "GEN", "OCC"):
+            for value, count in relation.value_counts(attr).items():
+                if count >= 8:
+                    constraints.append(
+                        DiversityConstraint(attr, value, max(4, int(0.9 * count)), count)
+                    )
+        sigma = ConstraintSet(constraints)
+        solver = Diva(best_effort=True, max_steps=20_000, seed=0)
+        start = time.perf_counter()
+        result = solver.run(relation, sigma, 4)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 60.0
+        assert is_k_anonymous(result.relation, 4)
+        assert ConstraintSet(result.satisfied).is_satisfied_by(result.relation)

@@ -1,0 +1,151 @@
+"""Tests for the randomized-response DP module (§6 future work)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.data.relation import STAR, Relation, Schema
+from repro.privacy.dp import (
+    RandomizedResponse,
+    expected_counts,
+    randomize_relation,
+)
+
+
+class TestMechanism:
+    def test_probabilities_sum_to_one(self):
+        mech = RandomizedResponse(["a", "b", "c"], epsilon=1.0)
+        assert mech.p_keep + 2 * mech.p_other == pytest.approx(1.0)
+
+    def test_epsilon_ldp_ratio(self):
+        """P[report | true] ratios are bounded by e^ε."""
+        mech = RandomizedResponse(["a", "b", "c"], epsilon=0.7)
+        # Reporting 'a': true 'a' → p_keep; true 'b' → p_other.
+        assert mech.p_keep / mech.p_other == pytest.approx(math.exp(0.7))
+
+    def test_high_epsilon_mostly_truthful(self):
+        mech = RandomizedResponse(["a", "b"], epsilon=8.0)
+        rng = np.random.default_rng(0)
+        reports = [mech.randomize("a", rng) for _ in range(500)]
+        assert reports.count("a") > 490
+
+    def test_low_epsilon_near_uniform(self):
+        mech = RandomizedResponse(["a", "b"], epsilon=0.01)
+        rng = np.random.default_rng(0)
+        reports = [mech.randomize("a", rng) for _ in range(4000)]
+        assert 0.4 < reports.count("b") / 4000 < 0.6
+
+    def test_star_passes_through(self):
+        mech = RandomizedResponse(["a", "b"], epsilon=1.0)
+        rng = np.random.default_rng(0)
+        assert mech.randomize(STAR, rng) is STAR
+
+    def test_unknown_value_rejected(self):
+        mech = RandomizedResponse(["a", "b"], epsilon=1.0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="domain"):
+            mech.randomize("z", rng)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(["a", "b"], epsilon=0)
+
+    def test_degenerate_domain(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(["a"], epsilon=1.0)
+
+    def test_reports_stay_in_domain(self):
+        mech = RandomizedResponse(["a", "b", "c", "d"], epsilon=0.5)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert mech.randomize("c", rng) in {"a", "b", "c", "d"}
+
+
+class TestEstimator:
+    def test_unbiased_recovery(self):
+        """Estimated counts converge to the true counts."""
+        rng = np.random.default_rng(2)
+        mech = RandomizedResponse(["x", "y", "z"], epsilon=1.0)
+        truth = ["x"] * 600 + ["y"] * 300 + ["z"] * 100
+        reported = [mech.randomize(v, rng) for v in truth]
+        estimates = mech.estimate_counts(reported)
+        assert estimates["x"] == pytest.approx(600, abs=80)
+        assert estimates["y"] == pytest.approx(300, abs=80)
+        assert estimates["z"] == pytest.approx(100, abs=80)
+
+    def test_stars_excluded(self):
+        mech = RandomizedResponse(["x", "y"], epsilon=2.0)
+        estimates = mech.estimate_counts(["x", STAR, "x", STAR])
+        # N = 2 concrete reports; both are x.
+        assert estimates["x"] > estimates["y"]
+
+
+class TestRelationRandomization:
+    @pytest.fixture
+    def relation(self):
+        schema = Schema.from_names(qi=["A"], sensitive=["S"])
+        rows = [("a1", "s1"), ("a2", "s2"), ("a1", "s1"), ("a2", "s2")] * 5
+        return Relation(schema, rows)
+
+    def test_composition_total(self, relation):
+        _, total = randomize_relation(relation, {"A": 1.0, "S": 0.5}, seed=0)
+        assert total == pytest.approx(1.5)
+
+    def test_untouched_attributes(self, relation):
+        randomized, _ = randomize_relation(relation, {"S": 1.0}, seed=0)
+        assert randomized.project(["A"]) == relation.project(["A"])
+
+    def test_values_stay_in_domain(self, relation):
+        randomized, _ = randomize_relation(relation, {"S": 0.2}, seed=3)
+        assert set(v for (v,) in randomized.project(["S"])) <= {"s1", "s2"}
+
+    def test_declared_domain_used(self, relation):
+        randomized, _ = randomize_relation(
+            relation, {"S": 0.1}, seed=4, domains={"S": ["s1", "s2", "s3"]}
+        )
+        observed = {v for (v,) in randomized.project(["S"])}
+        assert observed <= {"s1", "s2", "s3"}
+
+    def test_deterministic_given_seed(self, relation):
+        a, _ = randomize_relation(relation, {"S": 1.0}, seed=5)
+        b, _ = randomize_relation(relation, {"S": 1.0}, seed=5)
+        assert a == b
+
+    def test_unknown_attr_rejected(self, relation):
+        with pytest.raises(KeyError):
+            randomize_relation(relation, {"NOPE": 1.0})
+
+    def test_star_cells_untouched(self, relation):
+        starred = relation.suppress_values([(0, "A")])
+        randomized, _ = randomize_relation(starred, {"A": 1.0}, seed=0)
+        assert randomized.value(0, "A") is STAR
+
+
+class TestExpectedCounts:
+    def test_unrandomized_attr_exact(self, paper_relation):
+        sigma = ConstraintSet([DiversityConstraint("ETH", "Asian", 2, 5)])
+        out = expected_counts(paper_relation, sigma, budgets={})
+        assert out[sigma[0]] == 3.0
+
+    def test_randomized_attr_shrinks_toward_uniform(self, paper_relation):
+        sigma = ConstraintSet([DiversityConstraint("ETH", "Asian", 2, 5)])
+        out = expected_counts(paper_relation, sigma, budgets={"ETH": 0.5})
+        expected = out[sigma[0]]
+        # True count 3 of 10 over a 3-value domain: expectation moves
+        # toward N/d = 10/3 but stays between the extremes.
+        assert 2.0 < expected < 4.5
+        assert expected != 3.0
+
+    def test_high_epsilon_close_to_truth(self, paper_relation):
+        sigma = ConstraintSet([DiversityConstraint("ETH", "Asian", 2, 5)])
+        out = expected_counts(paper_relation, sigma, budgets={"ETH": 10.0})
+        assert out[sigma[0]] == pytest.approx(3.0, abs=0.05)
+
+    def test_multi_attribute_rejected(self, paper_relation):
+        sigma = ConstraintSet(
+            [DiversityConstraint(["GEN", "ETH"], ["Male", "Asian"], 1, 5)]
+        )
+        with pytest.raises(ValueError, match="single-attribute"):
+            expected_counts(paper_relation, sigma, budgets={"GEN": 1.0})

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion via its main().
+
+The examples are the library's front door; these tests keep them green.
+``census_diversity_study`` is the slowest (a strategy sweep) so it runs a
+reduced configuration via monkeypatching its module constants.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    yield
+    for name in list(sys.modules):
+        if name in {
+            "quickstart",
+            "healthcare_publishing",
+            "census_diversity_study",
+            "distribution_sensitivity",
+            "beyond_kanonymity",
+        }:
+            del sys.modules[name]
+
+
+def _run(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart", capsys)
+    assert "Solution validated against Definition 2.4" in out
+
+
+def test_healthcare_publishing(capsys):
+    out = _run("healthcare_publishing", capsys)
+    assert "DIVA (MaxFanOut)" in out
+    assert "6/6 satisfied" in out
+
+
+def test_distribution_sensitivity(capsys):
+    out = _run("distribution_sensitivity", capsys)
+    for name in ("zipfian", "uniform", "gaussian"):
+        assert name in out
+
+
+def test_beyond_kanonymity(capsys):
+    out = _run("beyond_kanonymity", capsys)
+    assert "k-anonymous (k=4): True" in out
+    assert "randomized response" in out
+
+
+def test_census_diversity_study(capsys, monkeypatch):
+    module = importlib.import_module("census_diversity_study")
+    monkeypatch.setattr(module, "N_ROWS", 120)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Census relation" in out
+    assert "accuracy" in out

@@ -1,0 +1,151 @@
+"""Tests for generalization hierarchies and cluster recoding."""
+
+import pytest
+
+from repro.data.relation import STAR
+from repro.generalize import (
+    ROOT,
+    ValueHierarchy,
+    generalization_loss,
+    generalize_clusters,
+)
+
+GEO = ValueHierarchy.from_parents(
+    {
+        "Calgary": "AB", "Edmonton": "AB",
+        "Vancouver": "BC", "Victoria": "BC",
+        "Winnipeg": "MB",
+        "AB": "Canada", "BC": "Canada", "MB": "Canada",
+    }
+)
+
+
+class TestHierarchy:
+    def test_generalize_steps(self):
+        assert GEO.generalize("Calgary", 0) == "Calgary"
+        assert GEO.generalize("Calgary", 1) == "AB"
+        assert GEO.generalize("Calgary", 2) == "Canada"
+
+    def test_saturates_at_root(self):
+        assert GEO.generalize("Calgary", 10) == "Canada"
+        assert GEO.generalize("Canada", 3) == "Canada"
+
+    def test_unknown_value_goes_to_root(self):
+        assert GEO.generalize("Atlantis", 1) == "Canada"
+
+    def test_negative_levels(self):
+        with pytest.raises(ValueError):
+            GEO.generalize("Calgary", -1)
+
+    def test_root_and_depth(self):
+        assert GEO.root() == "Canada"
+        assert GEO.depth("Calgary") == 2
+        assert GEO.depth("AB") == 1
+        assert GEO.depth("Canada") == 0
+        assert GEO.height() == 2
+
+    def test_parent(self):
+        assert GEO.parent("Calgary") == "AB"
+        assert GEO.parent("Canada") is None
+
+    def test_common_ancestor_same_province(self):
+        assert GEO.common_ancestor(["Calgary", "Edmonton"]) == "AB"
+
+    def test_common_ancestor_cross_province(self):
+        assert GEO.common_ancestor(["Calgary", "Vancouver"]) == "Canada"
+
+    def test_common_ancestor_single(self):
+        assert GEO.common_ancestor(["Calgary"]) == "Calgary"
+
+    def test_common_ancestor_empty(self):
+        with pytest.raises(ValueError):
+            GEO.common_ancestor([])
+
+    def test_generality(self):
+        assert GEO.generality("Calgary") == 0.0
+        assert GEO.generality("AB") == pytest.approx(0.5)
+        assert GEO.generality("Canada") == 1.0
+
+    def test_contains(self):
+        assert "Calgary" in GEO
+        assert "Canada" in GEO
+        assert "Atlantis" not in GEO
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            ValueHierarchy({"a": "b", "b": "a"})
+
+    def test_multiple_roots_joined(self):
+        hierarchy = ValueHierarchy({"a": "X", "b": "Y"})
+        assert hierarchy.root() == ROOT
+        assert hierarchy.generalize("a", 2) == ROOT
+
+    def test_flat_hierarchy_is_suppression(self):
+        flat = ValueHierarchy.flat(["x", "y"])
+        assert flat.generalize("x", 1) == ROOT
+        assert flat.common_ancestor(["x", "y"]) == ROOT
+
+    def test_from_levels(self):
+        hierarchy = ValueHierarchy.from_levels(
+            {"Calgary": ["AB", "Canada"], "Vancouver": ["BC", "Canada"]}
+        )
+        assert hierarchy.common_ancestor(["Calgary", "Vancouver"]) == "Canada"
+
+    def test_from_levels_conflict(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            ValueHierarchy.from_levels(
+                {"Calgary": ["AB"], "x": ["Calgary", "BC"], "y": ["Calgary", "AB2"]}
+            )
+
+
+class TestRecoding:
+    def test_lca_instead_of_star(self, paper_relation):
+        hierarchies = {"CTY": GEO}
+        recoded = generalize_clusters(paper_relation, [{1, 4}], hierarchies)
+        # t1 Calgary + t4 Winnipeg → Canada on CTY; other QIs starred.
+        assert recoded.value(1, "CTY") == "Canada"
+        assert recoded.value(4, "CTY") == "Canada"
+        assert recoded.value(1, "GEN") is STAR  # Female vs Male, no hierarchy
+
+    def test_agreeing_attribute_untouched(self, paper_relation):
+        recoded = generalize_clusters(paper_relation, [{1, 2}], {"CTY": GEO})
+        assert recoded.value(1, "CTY") == "Calgary"
+
+    def test_forms_qi_groups(self, paper_relation):
+        recoded = generalize_clusters(
+            paper_relation, [{1, 4}, {5, 6}], {"CTY": GEO}
+        )
+        groups = recoded.qi_groups()
+        assert sorted(len(g) for g in groups.values()) == [2, 2]
+
+    def test_sensitive_untouched(self, paper_relation):
+        recoded = generalize_clusters(paper_relation, [{1, 4}], {"CTY": GEO})
+        assert recoded.value(1, "DIAG") == "Hypertension"
+
+    def test_loss_zero_when_nothing_recoded(self, paper_relation):
+        recoded = generalize_clusters(paper_relation, [{1}], {"CTY": GEO})
+        assert generalization_loss(paper_relation, recoded, {"CTY": GEO}) == 0.0
+
+    def test_loss_counts_stars_fully(self, paper_relation):
+        recoded = generalize_clusters(paper_relation, [{3, 8}], {})
+        loss = generalization_loss(paper_relation, recoded, {})
+        # t3 and t8 disagree on every QI attribute: all cells suppressed.
+        assert loss == pytest.approx(1.0)
+
+    def test_loss_partial_generalization_cheaper(self):
+        """An intermediate-level LCA costs less than full suppression."""
+        from repro.data.relation import Relation, Schema
+
+        schema = Schema.from_names(qi=["CTY"], sensitive=["S"])
+        relation = Relation(
+            schema, [("Calgary", "s1"), ("Edmonton", "s2")], tids=[1, 2]
+        )
+        hierarchies = {"CTY": GEO}
+        recoded = generalize_clusters(relation, [{1, 2}], hierarchies)
+        assert recoded.value(1, "CTY") == "AB"  # LCA below the root
+        loss_with = generalization_loss(relation, recoded, hierarchies)
+        suppressed = generalize_clusters(relation, [{1, 2}], {})
+        loss_without = generalization_loss(relation, suppressed, {})
+        assert loss_with == pytest.approx(0.5)
+        assert loss_without == pytest.approx(1.0)
+        assert loss_with < loss_without

@@ -1,0 +1,81 @@
+"""Unit tests for the constraint-interaction graph (Section 3.3)."""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.graph import build_graph
+
+
+class TestPaperGraph:
+    """Figure 2: v1—v3 and v2—v3 edges, v1—v2 absent."""
+
+    def test_nodes(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        assert len(graph) == 3
+        assert [n.index for n in graph] == [0, 1, 2]
+        assert graph.node(0).constraint == paper_constraints[0]
+
+    def test_edges(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        assert graph.edges == [(0, 2), (1, 2)]
+
+    def test_overlap_labels(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        assert graph.overlap(0, 2) == frozenset({8, 10})
+        assert graph.overlap(1, 2) == frozenset({6})
+        assert graph.overlap(0, 1) == frozenset()
+
+    def test_neighbors(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        assert graph.neighbors(0) == frozenset({2})
+        assert graph.neighbors(2) == frozenset({0, 1})
+
+    def test_degree(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        assert graph.degree(2) == 2
+        assert graph.degree(0) == 1
+
+    def test_target_tids_cached(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        assert graph.node(0).target_tids == frozenset({8, 9, 10})
+        assert graph.node(1).target_tids == frozenset({5, 6})
+        assert graph.node(2).target_tids == frozenset({6, 7, 8, 10})
+
+
+class TestComponents:
+    def test_single_component(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        assert graph.connected_components() == [[0, 1, 2]]
+
+    def test_disconnected(self, paper_relation):
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),     # {8,9,10}
+                DiversityConstraint("ETH", "African", 1, 3),   # {5,6}
+            ]
+        )
+        graph = build_graph(paper_relation, constraints)
+        assert graph.edges == []
+        assert graph.connected_components() == [[0], [1]]
+
+    def test_empty_constraints(self, paper_relation):
+        graph = build_graph(paper_relation, ConstraintSet())
+        assert len(graph) == 0
+        assert graph.connected_components() == []
+
+
+class TestNetworkxExport:
+    def test_export(self, paper_relation, paper_constraints):
+        graph = build_graph(paper_relation, paper_constraints)
+        nxg = graph.to_networkx()
+        assert set(nxg.nodes) == {0, 1, 2}
+        assert set(map(tuple, map(sorted, nxg.edges))) == {(0, 2), (1, 2)}
+        assert nxg.edges[0, 2]["overlap"] == {8, 10}
+        assert nxg.nodes[1]["constraint"] == paper_constraints[1]
+
+
+class TestValidation:
+    def test_unknown_attribute_rejected(self, paper_relation):
+        constraints = ConstraintSet([DiversityConstraint("NOPE", "x", 1, 2)])
+        with pytest.raises(KeyError):
+            build_graph(paper_relation, constraints)

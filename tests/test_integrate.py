@@ -1,0 +1,90 @@
+"""Unit tests for the Integrate phase."""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.integrate import integrate
+from repro.core.suppress import suppress
+from repro.data.relation import STAR
+
+
+class TestNoViolation:
+    def test_clean_union(self, paper_relation, paper_constraints):
+        r_sigma = suppress(paper_relation, [{5, 6}, {7, 8}, {9, 10}])
+        r_k = suppress(paper_relation.restrict({1, 2, 3, 4}), [{1, 2}, {3, 4}])
+        combined, report = integrate(r_sigma, r_k, paper_constraints)
+        assert len(combined) == 10
+        assert report.repairs == []
+        assert report.cells_starred == 0
+        assert paper_constraints.is_satisfied_by(combined)
+
+
+class TestUpperBoundRepair:
+    def test_repair_suppresses_rk_group(self, paper_relation):
+        """An Rk group carrying too many Males gets its GEN starred."""
+        # RΣ: the African cluster preserves 2 Males.
+        constraints = ConstraintSet(
+            [DiversityConstraint("GEN", "Male", 2, 2)]
+        )
+        r_sigma = suppress(paper_relation, [{5, 6}])  # 2 Males preserved
+        # Rk: t3, t4 are both Male; suppressing them together keeps GEN=Male
+        # (uniform), pushing the union's count to 4 > 2.
+        rest = paper_relation.restrict({1, 2, 3, 4, 7, 8, 9, 10})
+        r_k = suppress(rest, [{3, 4}, {1, 2}, {7, 8}, {9, 10}])
+        assert r_k.count_matching(["GEN"], ["Male"]) >= 2
+
+        combined, report = integrate(r_sigma, r_k, constraints)
+        sigma = constraints[0]
+        assert sigma.count(combined) == 2
+        assert len(report.repairs) == 1
+        repaired_constraint, groups, cells = report.repairs[0]
+        assert repaired_constraint == sigma
+        assert groups >= 1
+        assert cells >= 2
+
+    def test_protected_rsigma_untouched(self, paper_relation):
+        """Repair must never star RΣ tuples (they carry the lower bound)."""
+        constraints = ConstraintSet(
+            [DiversityConstraint("GEN", "Male", 2, 2)]
+        )
+        r_sigma = suppress(paper_relation, [{5, 6}])
+        rest = paper_relation.restrict({1, 2, 3, 4, 7, 8, 9, 10})
+        r_k = suppress(rest, [{3, 4}, {1, 2}, {7, 8}, {9, 10}])
+        combined, _ = integrate(r_sigma, r_k, constraints)
+        assert combined.value(5, "GEN") == "Male"
+        assert combined.value(6, "GEN") == "Male"
+
+    def test_k_anonymity_preserved_by_repair(self, paper_relation):
+        from repro.metrics.stats import is_k_anonymous
+
+        constraints = ConstraintSet(
+            [DiversityConstraint("GEN", "Male", 2, 2)]
+        )
+        r_sigma = suppress(paper_relation, [{5, 6}])
+        rest = paper_relation.restrict({1, 2, 3, 4, 7, 8, 9, 10})
+        r_k = suppress(rest, [{3, 4}, {1, 2}, {7, 8}, {9, 10}])
+        combined, _ = integrate(r_sigma, r_k, constraints)
+        assert is_k_anonymous(combined, 2)
+
+    def test_multi_attribute_repair(self, paper_relation):
+        constraints = ConstraintSet(
+            [DiversityConstraint(["GEN", "ETH"], ["Male", "African"], 2, 2)]
+        )
+        r_sigma = suppress(paper_relation, [{5, 6}])
+        rest = paper_relation.restrict({1, 2, 3, 4, 7, 8, 9, 10})
+        r_k = suppress(rest, [{1, 2}, {3, 4}, {7, 8}, {9, 10}])
+        combined, report = integrate(r_sigma, r_k, constraints)
+        assert constraints.is_satisfied_by(combined)
+
+
+class TestInputValidation:
+    def test_schema_mismatch(self, paper_relation, tiny_relation, paper_constraints):
+        r_sigma = suppress(paper_relation, [{5, 6}])
+        with pytest.raises(ValueError, match="schema"):
+            integrate(r_sigma, tiny_relation, paper_constraints)
+
+    def test_tid_overlap(self, paper_relation, paper_constraints):
+        r_sigma = suppress(paper_relation, [{5, 6}])
+        r_k = suppress(paper_relation, [{5, 6}])
+        with pytest.raises(ValueError, match="overlap"):
+            integrate(r_sigma, r_k, paper_constraints)

@@ -1,0 +1,75 @@
+"""End-to-end integration: DIVA on every evaluation dataset.
+
+These are the "does the whole pipeline hold together on realistic data"
+tests: for each dataset × strategy, generate constraints, solve, and check
+the full (k, Σ) contract plus the utility interval guarantee.
+"""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet
+from repro.core.diva import Diva
+from repro.core.problem import KSigmaProblem
+from repro.data.datasets import load_dataset
+from repro.data.relation import generalizes
+from repro.metrics.stats import is_k_anonymous
+from repro.metrics.utility import evaluate_workload, random_count_workload
+from repro.workloads.constraint_gen import proportion_constraints
+
+DATASET_PARAMS = {
+    "pantheon": dict(n_rows=150, k=4, n_constraints=4),
+    "census": dict(n_rows=150, k=4, n_constraints=4),
+    "credit": dict(n_rows=200, k=5, n_constraints=4),
+    "popsyn": dict(n_rows=150, k=4, n_constraints=4),
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASET_PARAMS))
+@pytest.mark.parametrize("strategy", ["basic", "minchoice", "maxfanout"])
+def test_diva_end_to_end(dataset, strategy):
+    params = DATASET_PARAMS[dataset]
+    relation = load_dataset(dataset, seed=1, n_rows=params["n_rows"])
+    constraints = proportion_constraints(
+        relation, params["n_constraints"], k=params["k"],
+        lower_cap=2 * params["k"], seed=1,
+    )
+    solver = Diva(strategy=strategy, best_effort=True, seed=1)
+    result = solver.run(relation, constraints, params["k"])
+
+    # k-anonymity, tuple preservation, faithful suppression.
+    assert is_k_anonymous(result.relation, params["k"])
+    assert set(result.relation.tids) == set(relation.tids)
+    assert generalizes(relation, result.relation)
+    # Every surviving constraint is actually satisfied.
+    surviving = ConstraintSet(result.satisfied)
+    assert surviving.is_satisfied_by(result.relation)
+    # Full problem validation for the surviving constraints.
+    problem = KSigmaProblem(relation, surviving, params["k"])
+    assert problem.validate_solution(result.relation) == []
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASET_PARAMS))
+def test_query_intervals_bracket_truth(dataset):
+    """Faithful suppression ⇒ interval answers always contain the truth."""
+    params = DATASET_PARAMS[dataset]
+    relation = load_dataset(dataset, seed=2, n_rows=params["n_rows"])
+    constraints = proportion_constraints(
+        relation, 3, k=params["k"], lower_cap=2 * params["k"], seed=2
+    )
+    result = Diva(best_effort=True, seed=2).run(relation, constraints, params["k"])
+    queries = random_count_workload(relation, 10, seed=2)
+    report = evaluate_workload(relation, result.relation, queries)
+    assert report.interval_coverage == 1.0
+
+
+def test_strategies_agree_on_satisfiability():
+    """All strategies solve the same instances (search order ≠ semantics)."""
+    relation = load_dataset("popsyn", seed=3, n_rows=150)
+    constraints = proportion_constraints(relation, 4, k=4, seed=3)
+    outcomes = set()
+    for strategy in ("basic", "minchoice", "maxfanout"):
+        result = Diva(strategy=strategy, best_effort=True, seed=3).run(
+            relation, constraints, 4
+        )
+        outcomes.add(len(result.dropped) == 0)
+    assert len(outcomes) == 1

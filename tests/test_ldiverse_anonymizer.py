@@ -1,0 +1,95 @@
+"""Tests for the l-diversity-aware k-member anonymizer (§5 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize import LDiverseKMemberAnonymizer, make_anonymizer
+from repro.core.diva import run_diva
+from repro.core.errors import AnonymizationError
+from repro.data.datasets import make_popsyn
+from repro.data.relation import Relation, Schema, generalizes
+from repro.metrics.stats import is_k_anonymous
+from repro.privacy import check_l_diversity
+
+
+@pytest.fixture(scope="module")
+def popsyn():
+    return make_popsyn(seed=11, n_rows=120)
+
+
+class TestContract:
+    def test_k_anonymous_and_l_diverse(self, popsyn):
+        anonymized = LDiverseKMemberAnonymizer(l=3).anonymize(popsyn, 5)
+        assert is_k_anonymous(anonymized, 5)
+        assert check_l_diversity(anonymized, 3).satisfied
+
+    def test_generalizes_input(self, popsyn):
+        anonymized = LDiverseKMemberAnonymizer(l=2).anonymize(popsyn, 4)
+        assert generalizes(popsyn, anonymized)
+
+    def test_covers_all_tuples(self, popsyn):
+        clusters = LDiverseKMemberAnonymizer(l=2).cluster(popsyn, 4)
+        assert set().union(*clusters) == set(popsyn.tids)
+
+    def test_registered_in_factory(self):
+        anonymizer = make_anonymizer("l-diverse-k-member")
+        assert isinstance(anonymizer, LDiverseKMemberAnonymizer)
+        assert anonymizer.l == 2  # factory default, not the rng
+
+    def test_deterministic(self, popsyn):
+        a = LDiverseKMemberAnonymizer(l=2, rng=np.random.default_rng(3)).anonymize(
+            popsyn, 4
+        )
+        b = LDiverseKMemberAnonymizer(l=2, rng=np.random.default_rng(3)).anonymize(
+            popsyn, 4
+        )
+        assert a == b
+
+
+class TestValidation:
+    def test_l_greater_than_k(self, popsyn):
+        with pytest.raises(AnonymizationError, match="exceeds k"):
+            LDiverseKMemberAnonymizer(l=6).cluster(popsyn, 5)
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            LDiverseKMemberAnonymizer(l=0)
+
+    def test_too_few_sensitive_values(self):
+        schema = Schema.from_names(qi=["A"], sensitive=["S"])
+        relation = Relation(schema, [("a", "s1")] * 10)
+        with pytest.raises(AnonymizationError, match="distinct values"):
+            LDiverseKMemberAnonymizer(l=2).cluster(relation, 2)
+
+    def test_multiple_sensitive_needs_explicit(self):
+        schema = Schema.from_names(qi=["A"], sensitive=["S", "T"])
+        relation = Relation(schema, [("a", "s1", "t1"), ("a", "s2", "t2")])
+        with pytest.raises(AnonymizationError, match="sensitive attributes"):
+            LDiverseKMemberAnonymizer(l=2).cluster(relation, 2)
+
+    def test_explicit_sensitive_attr(self):
+        schema = Schema.from_names(qi=["A"], sensitive=["S", "T"])
+        rows = [("a", f"s{i % 3}", f"t{i % 2}") for i in range(12)]
+        relation = Relation(schema, rows)
+        anonymizer = LDiverseKMemberAnonymizer(l=2, sensitive_attr="T")
+        anonymized = anonymizer.anonymize(relation, 4)
+        assert check_l_diversity(anonymized, 2, sensitive_attr="T").satisfied
+
+
+class TestDivaIntegration:
+    def test_as_diva_anonymize_phase(self, popsyn, paper_constraints):
+        """DIVA accepts the l-diverse anonymizer as its plug-in."""
+        from repro.core.constraints import ConstraintSet, DiversityConstraint
+
+        sigma = ConstraintSet(
+            [DiversityConstraint("ETH", "Caucasian", 4, len(popsyn))]
+        )
+        result = run_diva(
+            popsyn, sigma, k=4,
+            anonymizer=LDiverseKMemberAnonymizer(l=2),
+            best_effort=True,
+        )
+        assert is_k_anonymous(result.relation, 4)
+        # The Rk part (remainder) is l-diverse by construction.
+        if result.r_k is not None and len(result.r_k):
+            assert check_l_diversity(result.r_k, 2).satisfied

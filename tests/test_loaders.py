@@ -1,0 +1,97 @@
+"""Unit tests for CSV persistence."""
+
+import pytest
+
+from repro.data.loaders import (
+    load_relation,
+    save_relation,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.data.relation import STAR, Schema
+
+
+class TestSchemaSerialization:
+    def test_round_trip(self, paper_relation):
+        schema = paper_relation.schema
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            schema_from_dict({"attributes": [{"no-name": True}]})
+        with pytest.raises(ValueError, match="malformed"):
+            schema_from_dict({"attributes": [{"name": "A", "kind": "bogus"}]})
+
+
+class TestCsvRoundTrip:
+    def test_plain(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        loaded = load_relation(path)
+        assert loaded == paper_relation
+
+    def test_with_stars(self, paper_relation, tmp_path):
+        starred = paper_relation.suppress_values([(1, "AGE"), (2, "GEN")])
+        path = tmp_path / "r.csv"
+        save_relation(starred, path)
+        loaded = load_relation(path)
+        assert loaded.value(1, "AGE") is STAR
+        assert loaded.value(2, "GEN") is STAR
+        assert loaded == starred
+
+    def test_numeric_types_restored(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        loaded = load_relation(path)
+        assert isinstance(loaded.value(1, "AGE"), int)
+        assert loaded.value(1, "AGE") == 80
+
+    def test_tids_preserved(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        loaded = load_relation(path)
+        assert loaded.tids == paper_relation.tids
+
+    def test_explicit_schema(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        loaded = load_relation(path, schema=paper_relation.schema)
+        assert loaded == paper_relation
+
+    def test_missing_sidecar(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        (tmp_path / "r.csv.schema.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_relation(path)
+
+    def test_header_mismatch(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        wrong = Schema.from_names(qi=["X", "Y"])
+        with pytest.raises(ValueError, match="header"):
+            load_relation(path, schema=wrong)
+
+    def test_float_parsing(self, tmp_path):
+        schema = Schema.from_names(qi=["V"], numeric=["V"])
+        from repro.data.relation import Relation
+
+        relation = Relation(schema, [(1.5,), (2,)])
+        path = tmp_path / "f.csv"
+        save_relation(relation, path)
+        loaded = load_relation(path)
+        assert loaded.value(0, "V") == 1.5
+        assert loaded.value(1, "V") == 2
+
+
+class TestUnicode:
+    def test_unicode_values_round_trip(self, tmp_path):
+        from repro.data.relation import Relation
+
+        schema = Schema.from_names(qi=["NAME"], sensitive=["NOTE"])
+        relation = Relation(
+            schema, [("Zoë", "café ★"), ("Müller", "naïve")]
+        )
+        path = tmp_path / "unicode.csv"
+        save_relation(relation, path)
+        assert load_relation(path) == relation

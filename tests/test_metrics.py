@@ -1,0 +1,225 @@
+"""Unit tests for the evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.suppress import suppress
+from repro.metrics import (
+    accuracy,
+    check_diversity,
+    conflict_matrix,
+    conflict_rate,
+    discernibility,
+    diversity_satisfaction_ratio,
+    group_stats,
+    is_k_anonymous,
+    mean_group_size,
+    pairwise_conflict,
+    retained_ratio,
+    star_count,
+    star_ratio,
+    stars_by_attribute,
+)
+from repro.metrics.accuracy_utils import measure_output
+
+
+class TestInformationLoss:
+    def test_star_count_zero(self, paper_relation):
+        assert star_count(paper_relation) == 0
+
+    def test_star_ratio(self, paper_relation):
+        starred = paper_relation.suppress_values(
+            [(1, "AGE"), (2, "AGE"), (3, "AGE"), (4, "AGE"), (5, "AGE")]
+        )
+        # 5 stars over 10 tuples × 5 QI attributes.
+        assert star_ratio(starred) == pytest.approx(0.1)
+
+    def test_retained_complements(self, paper_relation):
+        starred = paper_relation.suppress_values([(1, "AGE")])
+        assert retained_ratio(starred) == pytest.approx(1 - star_ratio(starred))
+
+    def test_stars_by_attribute(self, paper_relation):
+        starred = paper_relation.suppress_values([(1, "AGE"), (2, "AGE"), (3, "GEN")])
+        breakdown = stars_by_attribute(starred)
+        assert breakdown["AGE"] == 2
+        assert breakdown["GEN"] == 1
+        assert breakdown["ETH"] == 0
+
+    def test_empty_relation(self, paper_relation):
+        empty = paper_relation.without(paper_relation.tids)
+        assert star_ratio(empty) == 0.0
+
+
+class TestDiscernibility:
+    def test_original_relation(self, paper_relation):
+        """All singleton groups: disc = |R| (with k=1)."""
+        assert discernibility(paper_relation, 1) == 10
+
+    def test_k_violation_penalty(self, paper_relation):
+        """Singleton groups at k=2 cost |R| each: 10 × 10 = 100."""
+        assert discernibility(paper_relation, 2) == 100
+
+    def test_perfect_pairs(self, paper_relation):
+        anonymized = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        assert discernibility(anonymized, 2) == 5 * 4  # five groups of 2²
+
+    def test_single_blob(self, paper_relation):
+        blob = suppress(paper_relation, [set(paper_relation.tids)])
+        assert discernibility(blob, 2) == 100
+
+    def test_invalid_k(self, paper_relation):
+        with pytest.raises(ValueError):
+            discernibility(paper_relation, 0)
+
+    def test_mean_group_size(self, paper_relation):
+        anonymized = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        assert mean_group_size(anonymized) == pytest.approx(2.0)
+
+
+class TestAccuracy:
+    def test_range(self, paper_relation):
+        anonymized = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        assert 0.0 <= accuracy(anonymized, 2) <= 1.0
+
+    def test_blob_is_zero(self, paper_relation):
+        blob = suppress(paper_relation, [set(paper_relation.tids)])
+        assert accuracy(blob, 2) == pytest.approx(0.0)
+
+    def test_monotone_in_group_size(self, paper_relation):
+        pairs = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        halves = suppress(paper_relation, [{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}])
+        assert accuracy(pairs, 2) > accuracy(halves, 2)
+
+    def test_exact_value_for_pairs(self, paper_relation):
+        pairs = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        expected = 1 - math.log(2) / math.log(10)
+        assert accuracy(pairs, 2) == pytest.approx(expected)
+
+    def test_singleton_relation(self, paper_relation):
+        single = paper_relation.restrict({1})
+        assert accuracy(single, 1) == 1.0
+
+    def test_measure_output_keys(self, paper_relation):
+        metrics = measure_output(paper_relation, 1)
+        assert set(metrics) == {"accuracy", "discernibility", "stars", "star_ratio"}
+
+
+class TestConflictRate:
+    def test_disjoint_zero(self, paper_relation):
+        a = DiversityConstraint("ETH", "Asian", 2, 5)
+        b = DiversityConstraint("ETH", "African", 1, 3)
+        assert pairwise_conflict(paper_relation, a, b) == 0.0
+
+    def test_containment_is_one(self, paper_relation):
+        a = DiversityConstraint("ETH", "African", 1, 3)          # {5, 6}
+        b = DiversityConstraint("GEN", "Male", 1, 5)             # {3,...,7}
+        assert pairwise_conflict(paper_relation, a, b) == 1.0
+
+    def test_partial(self, paper_relation):
+        a = DiversityConstraint("ETH", "Asian", 2, 5)            # {8, 9, 10}
+        b = DiversityConstraint("CTY", "Vancouver", 2, 4)        # {6,7,8,10}
+        assert pairwise_conflict(paper_relation, a, b) == pytest.approx(2 / 3)
+
+    def test_empty_target(self, paper_relation):
+        a = DiversityConstraint("ETH", "Martian", 0, 5)
+        b = DiversityConstraint("ETH", "Asian", 2, 5)
+        assert pairwise_conflict(paper_relation, a, b) == 0.0
+
+    def test_set_rate_mean(self, paper_relation, paper_constraints):
+        # pairs: (σ1,σ2)=0, (σ1,σ3)=2/3, (σ2,σ3)=1/2 → mean = 7/18.
+        assert conflict_rate(paper_relation, paper_constraints) == pytest.approx(
+            (0 + 2 / 3 + 1 / 2) / 3
+        )
+
+    def test_single_constraint_zero(self, paper_relation):
+        sigma = ConstraintSet([DiversityConstraint("ETH", "Asian", 2, 5)])
+        assert conflict_rate(paper_relation, sigma) == 0.0
+
+    def test_matrix_symmetric(self, paper_relation, paper_constraints):
+        matrix = conflict_matrix(paper_relation, paper_constraints)
+        for i in range(3):
+            assert matrix[i][i] == 1.0
+            for j in range(3):
+                assert matrix[i][j] == matrix[j][i]
+
+    def test_matrix_values(self, paper_relation, paper_constraints):
+        matrix = conflict_matrix(paper_relation, paper_constraints)
+        assert matrix[0][1] == 0.0
+        assert matrix[0][2] == pytest.approx(2 / 3)
+        assert matrix[1][2] == pytest.approx(1 / 2)
+
+
+class TestDiversityCheck:
+    def test_verdicts(self, paper_relation, paper_constraints):
+        verdicts = check_diversity(paper_relation, paper_constraints)
+        assert all(v.satisfied for v in verdicts)
+        assert [v.count for v in verdicts] == [3, 2, 4]
+
+    def test_shortfall_and_overage(self, paper_relation):
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 5, 9),   # count 3 → short 2
+                DiversityConstraint("GEN", "Male", 0, 3),    # count 5 → over 2
+            ]
+        )
+        verdicts = check_diversity(paper_relation, constraints)
+        assert verdicts[0].shortfall == 2 and verdicts[0].overage == 0
+        assert verdicts[1].overage == 2 and verdicts[1].shortfall == 0
+
+    def test_satisfaction_ratio(self, paper_relation):
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),
+                DiversityConstraint("ETH", "Asian", 9, 10),
+            ]
+        )
+        assert diversity_satisfaction_ratio(paper_relation, constraints) == 0.5
+
+    def test_empty_sigma_ratio(self, paper_relation):
+        assert diversity_satisfaction_ratio(paper_relation, ConstraintSet()) == 1.0
+
+
+class TestGroupStats:
+    def test_stats(self, paper_relation):
+        anonymized = suppress(paper_relation, [{1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10}])
+        stats = group_stats(anonymized)
+        assert stats.n_tuples == 10
+        assert stats.n_groups == 3
+        assert stats.min_size == 3
+        assert stats.max_size == 4
+        assert stats.mean_size == pytest.approx(10 / 3)
+
+    def test_fully_suppressed_counted(self, paper_relation):
+        blob = suppress(paper_relation, [{3, 8}])  # disagree on all QIs
+        stats = group_stats(blob)
+        assert stats.fully_suppressed == 2
+        assert stats.fully_suppressed_ratio == 1.0
+
+    def test_empty(self, paper_relation):
+        empty = paper_relation.without(paper_relation.tids)
+        stats = group_stats(empty)
+        assert stats.n_tuples == 0 and stats.n_groups == 0
+
+    def test_is_k_anonymous(self, paper_relation):
+        assert is_k_anonymous(paper_relation, 1)
+        assert not is_k_anonymous(paper_relation, 2)
+        anonymized = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        assert is_k_anonymous(anonymized, 2)
+
+    def test_empty_is_k_anonymous(self, paper_relation):
+        empty = paper_relation.without(paper_relation.tids)
+        assert is_k_anonymous(empty, 5)

@@ -1,0 +1,117 @@
+"""Paper-fidelity tests: Tables 1–3 and the running examples, verbatim.
+
+These tests pin our implementation to the paper's own worked examples:
+Table 2 (the diversity-losing 3-anonymization), Table 3 (the diverse
+2-anonymization DIVA produces), and the QI-group claims of Section 2.
+"""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.diva import run_diva
+from repro.core.suppress import suppress
+from repro.data.relation import STAR
+from repro.metrics.stats import is_k_anonymous
+from repro.privacy import check_k_anonymity, max_k
+
+
+@pytest.fixture
+def table2(paper_relation):
+    """Table 2: clusters {t1,t2,t3}, {t4..t7}, {t8,t9,t10} suppressed."""
+    return suppress(paper_relation, [{1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10}])
+
+
+class TestTable2:
+    def test_is_3_anonymous(self, table2):
+        """The paper: "Table 2 shows a k-anonymized instance for k = 3"."""
+        assert is_k_anonymous(table2, 3)
+        assert max_k(table2) == 3
+
+    def test_matches_paper_rows(self, table2):
+        """Spot-check the suppressed rows r1, r4, r8 of Table 2."""
+        assert table2.row(1) == (
+            STAR, "Caucasian", STAR, "AB", "Calgary", "Hypertension"
+        )
+        assert table2.row(4) == (
+            "Male", STAR, STAR, STAR, STAR, "Migraine"
+        )
+        assert table2.row(8) == (
+            "Female", "Asian", STAR, STAR, STAR, "Seizure"
+        )
+
+    def test_diversity_lost_as_described(self, table2):
+        """Section 1: "we have lost the African and Caucasian ethnicity
+        from the (second) group of Male, and the Female gender from the
+        (first) group of Caucasian"."""
+        # Ethnicity is erased for the Male group (t4..t7).
+        for tid in (4, 5, 6, 7):
+            assert table2.value(tid, "ETH") is STAR
+        # Gender is erased for the Caucasian group (t1..t3).
+        for tid in (1, 2, 3):
+            assert table2.value(tid, "GEN") is STAR
+        # Consequently the African count drops from 2 to 0.
+        assert table2.count_matching(["ETH"], ["African"]) == 0
+
+    def test_violates_intro_sigma1(self, table2, paper_relation):
+        """σ2 = (ETH[African], 1, 3) holds on R but fails on Table 2."""
+        sigma2 = DiversityConstraint("ETH", "African", 1, 3)
+        assert sigma2.is_satisfied_by(paper_relation)
+        assert not sigma2.is_satisfied_by(table2)
+
+    def test_qi_groups_of_section2(self, table2):
+        """Definition 2.1's example groups: {r1,r2,r3}, {r4..r7}, {r8,r9,r10}."""
+        groups = {frozenset(g) for g in table2.qi_groups().values()}
+        assert groups == {
+            frozenset({1, 2, 3}),
+            frozenset({4, 5, 6, 7}),
+            frozenset({8, 9, 10}),
+        }
+
+
+class TestTable3:
+    """Table 3: the diverse k=2 instance of Example 3.1."""
+
+    def test_paper_clustering_reproduces_table3(self, paper_relation):
+        """SΣ = {{t5,t6},{t7,t8},{t9,t10}} + {g1..g4} gives Table 3."""
+        r_sigma = suppress(paper_relation, [{5, 6}, {7, 8}, {9, 10}])
+        rest = paper_relation.restrict({1, 2, 3, 4})
+        r_k = suppress(rest, [{1, 2}, {3, 4}])
+        table3 = r_sigma.union(r_k)
+        # Spot-check against the paper's Table 3 rows.
+        assert table3.row(1) == (
+            "Female", "Caucasian", STAR, "AB", "Calgary", "Hypertension"
+        )
+        assert table3.row(3) == (
+            "Male", "Caucasian", STAR, STAR, STAR, "Osteoarthritis"
+        )
+        assert table3.row(7) == (
+            STAR, STAR, STAR, "BC", "Vancouver", "Hypertension"
+        )
+        assert table3.row(9) == (
+            "Female", "Asian", STAR, STAR, STAR, "Influenza"
+        )
+        assert is_k_anonymous(table3, 2)
+        sigma = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),
+                DiversityConstraint("ETH", "African", 1, 3),
+                DiversityConstraint("CTY", "Vancouver", 2, 4),
+            ]
+        )
+        assert sigma.is_satisfied_by(table3)
+
+    def test_diva_matches_or_beats_table3_loss(
+        self, paper_relation, paper_constraints
+    ):
+        """Our DIVA output suppresses no more cells than the paper's Table 3."""
+        r_sigma = suppress(paper_relation, [{5, 6}, {7, 8}, {9, 10}])
+        rest = paper_relation.restrict({1, 2, 3, 4})
+        r_k = suppress(rest, [{1, 2}, {3, 4}])
+        table3_stars = r_sigma.union(r_k).star_count()
+        result = run_diva(paper_relation, paper_constraints, k=2)
+        assert result.relation.star_count() <= table3_stars
+
+    def test_check_report_structure(self, table2):
+        report = check_k_anonymity(table2, 4)
+        assert not report.satisfied
+        assert report.n_violations >= 1

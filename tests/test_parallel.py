@@ -1,0 +1,124 @@
+"""Unit tests for component-parallel coloring (future-work extension)."""
+
+from repro.core.coloring import diverse_clustering
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.parallel import component_coloring
+from repro.core.suppress import suppress
+
+
+class TestEquivalence:
+    def test_matches_monolithic_on_paper_example(
+        self, paper_relation, paper_constraints
+    ):
+        mono = diverse_clustering(paper_relation, paper_constraints, k=2)
+        comp = component_coloring(paper_relation, paper_constraints, k=2)
+        assert comp.success == mono.success
+        suppressed = suppress(paper_relation, comp.clustering)
+        assert paper_constraints.is_satisfied_by(suppressed)
+
+    def test_disconnected_components(self, paper_relation):
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),
+                DiversityConstraint("ETH", "African", 1, 3),
+            ]
+        )
+        result = component_coloring(paper_relation, constraints, k=2)
+        assert result.success
+        assert sorted(result.assignment) == [0, 1]
+        suppressed = suppress(paper_relation, result.clustering)
+        assert constraints.is_satisfied_by(suppressed)
+
+    def test_global_node_indices_in_assignment(self, paper_relation):
+        """Per-component local indices must be remapped to Σ positions."""
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "African", 1, 3),   # component {0}
+                DiversityConstraint("ETH", "Asian", 2, 5),     # component {1}
+            ]
+        )
+        result = component_coloring(paper_relation, constraints, k=2)
+        # Node 1 (Asian) must be assigned a clustering over tids {8,9,10}.
+        asian_cluster_tids = set().union(*result.assignment[1])
+        assert asian_cluster_tids <= {8, 9, 10}
+        african_cluster_tids = set().union(*result.assignment[0])
+        assert african_cluster_tids <= {5, 6}
+
+
+class TestFailurePropagation:
+    def test_one_failing_component_fails_all(self, paper_relation):
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),
+                DiversityConstraint("ETH", "African", 1, 3),  # impossible at k=3
+            ]
+        )
+        result = component_coloring(paper_relation, constraints, k=3)
+        assert not result.success
+        assert result.stats.candidates_tried >= 0
+
+
+class TestThreadPool:
+    def test_threaded_matches_sequential(self, paper_relation):
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),
+                DiversityConstraint("ETH", "African", 1, 3),
+                DiversityConstraint("GEN", "Female", 2, 5),
+            ]
+        )
+        sequential = component_coloring(paper_relation, constraints, k=2, seed=4)
+        threaded = component_coloring(
+            paper_relation, constraints, k=2, seed=4, max_workers=4
+        )
+        assert sequential.success == threaded.success
+        assert set(sequential.clustering) == set(threaded.clustering)
+
+    def test_empty_sigma(self, paper_relation):
+        result = component_coloring(paper_relation, ConstraintSet(), k=2)
+        assert result.success
+        assert result.clustering == ()
+
+
+class TestProcessPool:
+    def test_process_matches_thread(self, paper_relation):
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),
+                DiversityConstraint("ETH", "African", 1, 3),
+            ]
+        )
+        threaded = component_coloring(
+            paper_relation, constraints, k=2, max_workers=2, executor="thread"
+        )
+        processed = component_coloring(
+            paper_relation, constraints, k=2, max_workers=2, executor="process"
+        )
+        assert processed.success == threaded.success
+        assert set(processed.clustering) == set(threaded.clustering)
+
+    def test_strategy_instance_rejected_for_processes(self, paper_relation):
+        import pytest as _pytest
+
+        from repro.core.strategies import MaxFanOutStrategy
+
+        constraints = ConstraintSet(
+            [
+                DiversityConstraint("ETH", "Asian", 2, 5),
+                DiversityConstraint("ETH", "African", 1, 3),
+            ]
+        )
+        with _pytest.raises(ValueError, match="strategy name"):
+            component_coloring(
+                paper_relation, constraints, k=2,
+                max_workers=2, executor="process",
+                strategy=MaxFanOutStrategy(),
+            )
+
+    def test_unknown_executor(self, paper_relation):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="executor"):
+            component_coloring(
+                paper_relation, ConstraintSet(), k=2, executor="gpu"
+            )

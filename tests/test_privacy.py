@@ -1,0 +1,141 @@
+"""Unit tests for the privacy-model verifiers."""
+
+import pytest
+
+from repro.core.suppress import suppress
+from repro.privacy import (
+    check_k_anonymity,
+    check_l_diversity,
+    check_t_closeness,
+    check_xy_anonymity,
+    entropy_l_diversity,
+    max_k,
+    ordered_emd,
+    total_variation,
+)
+
+
+@pytest.fixture
+def pairs(paper_relation):
+    """The 5-pair clustering of Table 1 — 2-anonymous."""
+    return suppress(paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}])
+
+
+class TestKAnonymity:
+    def test_satisfied(self, pairs):
+        report = check_k_anonymity(pairs, 2)
+        assert report.satisfied
+        assert report.n_violations == 0
+
+    def test_violations_listed(self, paper_relation):
+        report = check_k_anonymity(paper_relation, 2)
+        assert not report.satisfied
+        assert report.n_violations == 10
+        key, size = report.violating_groups[0]
+        assert size == 1
+
+    def test_max_k(self, pairs, paper_relation):
+        assert max_k(pairs) == 2
+        assert max_k(paper_relation) == 1
+        empty = paper_relation.without(paper_relation.tids)
+        assert max_k(empty) == 0
+
+    def test_invalid_k(self, pairs):
+        with pytest.raises(ValueError):
+            check_k_anonymity(pairs, 0)
+
+
+class TestLDiversity:
+    def test_distinct_l2_on_pairs(self, pairs):
+        """Every pair has two distinct diagnoses in Table 1's pairing."""
+        report = check_l_diversity(pairs, 2)
+        assert report.sensitive_attr == "DIAG"
+        assert report.satisfied
+        assert report.min_distinct == 2
+
+    def test_l3_fails_on_pairs(self, pairs):
+        report = check_l_diversity(pairs, 3)
+        assert not report.satisfied
+        assert len(report.violating_groups) == 5
+
+    def test_homogeneous_group_detected(self, paper_relation):
+        # t5 and t7 both have Hypertension.
+        grouped = suppress(paper_relation, [{5, 7}])
+        report = check_l_diversity(grouped, 2)
+        assert not report.satisfied
+        assert report.min_distinct == 1
+
+    def test_explicit_sensitive_attr(self, pairs):
+        report = check_l_diversity(pairs, 1, sensitive_attr="DIAG")
+        assert report.satisfied
+
+    def test_invalid_l(self, pairs):
+        with pytest.raises(ValueError):
+            check_l_diversity(pairs, 0)
+
+    def test_entropy(self, pairs):
+        # Every group has 2 values with equal frequency → entropy l = 2.
+        assert entropy_l_diversity(pairs) == pytest.approx(2.0)
+
+    def test_entropy_homogeneous(self, paper_relation):
+        grouped = suppress(paper_relation, [{5, 7}])
+        assert entropy_l_diversity(grouped) == pytest.approx(1.0)
+
+
+class TestTCloseness:
+    def test_total_variation(self):
+        p = {"a": 0.5, "b": 0.5}
+        q = {"a": 1.0}
+        assert total_variation(p, q) == pytest.approx(0.5)
+        assert total_variation(p, p) == 0.0
+
+    def test_ordered_emd(self):
+        p = {"low": 1.0}
+        q = {"high": 1.0}
+        assert ordered_emd(p, q, ["low", "mid", "high"]) == pytest.approx(1.0)
+        assert ordered_emd(p, p, ["low", "mid", "high"]) == 0.0
+
+    def test_report(self, pairs):
+        report = check_t_closeness(pairs, t=1.0)
+        assert report.satisfied
+        tight = check_t_closeness(pairs, t=0.0)
+        assert not tight.satisfied
+        assert tight.max_distance > 0
+
+    def test_invalid_t(self, pairs):
+        with pytest.raises(ValueError):
+            check_t_closeness(pairs, t=1.5)
+
+    def test_uniform_relation_is_0_close(self, tiny_relation):
+        """One giant group has exactly the overall distribution."""
+        blob = suppress(tiny_relation, [set(tiny_relation.tids)])
+        report = check_t_closeness(blob, t=0.0)
+        assert report.satisfied
+
+
+class TestXYAnonymity:
+    def test_qi_to_sensitive(self, pairs):
+        report = check_xy_anonymity(
+            pairs, pairs.schema.qi_names, ["DIAG"], 2
+        )
+        assert report.satisfied
+        assert report.min_y_count == 2
+
+    def test_violation(self, paper_relation):
+        grouped = suppress(paper_relation, [{5, 7}])  # same DIAG
+        report = check_xy_anonymity(
+            grouped, grouped.schema.qi_names, ["DIAG"], 2
+        )
+        assert not report.satisfied
+
+    def test_overlapping_xy_rejected(self, pairs):
+        with pytest.raises(ValueError, match="disjoint"):
+            check_xy_anonymity(pairs, ["GEN"], ["GEN"], 2)
+
+    def test_invalid_k(self, pairs):
+        with pytest.raises(ValueError):
+            check_xy_anonymity(pairs, ["GEN"], ["DIAG"], 0)
+
+    def test_unknown_attr(self, pairs):
+        with pytest.raises(KeyError):
+            check_xy_anonymity(pairs, ["NOPE"], ["DIAG"], 2)

@@ -1,0 +1,84 @@
+"""Unit tests for the (k, Σ)-anonymization problem object."""
+
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.problem import KSigmaProblem
+from repro.core.suppress import suppress
+
+
+class TestConstruction:
+    def test_valid(self, paper_relation, paper_constraints):
+        problem = KSigmaProblem(paper_relation, paper_constraints, 2)
+        assert problem.k == 2
+        assert "k=2" in repr(problem)
+
+    def test_invalid_k(self, paper_relation, paper_constraints):
+        with pytest.raises(ValueError):
+            KSigmaProblem(paper_relation, paper_constraints, 0)
+
+    def test_k_exceeds_relation(self, paper_relation, paper_constraints):
+        with pytest.raises(ValueError, match="exceeds"):
+            KSigmaProblem(paper_relation, paper_constraints, 11)
+
+    def test_unknown_attribute(self, paper_relation):
+        constraints = ConstraintSet([DiversityConstraint("NOPE", "x", 1, 2)])
+        with pytest.raises(KeyError):
+            KSigmaProblem(paper_relation, constraints, 2)
+
+
+class TestFeasibility:
+    def test_paper_sigma_feasible_at_k2(self, paper_relation, paper_constraints):
+        assert KSigmaProblem(paper_relation, paper_constraints, 2).is_feasible()
+
+    def test_too_few_targets(self, paper_relation):
+        """Two Africans cannot form a k=3 cluster."""
+        constraints = ConstraintSet([DiversityConstraint("ETH", "African", 1, 3)])
+        problem = KSigmaProblem(paper_relation, constraints, 3)
+        bad = problem.infeasible_constraints()
+        assert len(bad) == 1
+        assert "target tuples" in bad[0].reason
+
+    def test_upper_bound_below_k(self, paper_relation):
+        """Any preserved group has ≥ k members, so λr < k is impossible."""
+        constraints = ConstraintSet([DiversityConstraint("ETH", "Asian", 1, 2)])
+        problem = KSigmaProblem(paper_relation, constraints, 3)
+        bad = problem.infeasible_constraints()
+        assert len(bad) == 1
+        assert "upper bound" in bad[0].reason
+
+    def test_zero_lower_always_feasible(self, paper_relation):
+        constraints = ConstraintSet([DiversityConstraint("ETH", "Asian", 0, 1)])
+        problem = KSigmaProblem(paper_relation, constraints, 3)
+        assert problem.is_feasible()
+
+
+class TestValidation:
+    def test_valid_solution(self, paper_relation, paper_constraints):
+        solution = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        problem = KSigmaProblem(paper_relation, paper_constraints, 2)
+        assert problem.validate_solution(solution) == []
+
+    def test_not_a_suppression(self, paper_relation, paper_constraints):
+        altered = paper_relation.replace_rows(
+            {1: ("Male", "Caucasian", 80, "AB", "Calgary", "Hypertension")}
+        )
+        problem = KSigmaProblem(paper_relation, paper_constraints, 2)
+        failures = problem.validate_solution(altered)
+        assert any("suppression" in f for f in failures)
+
+    def test_k_violation_detected(self, paper_relation, paper_constraints):
+        problem = KSigmaProblem(paper_relation, paper_constraints, 2)
+        failures = problem.validate_solution(paper_relation)  # original: groups of 1
+        assert any("QI-group" in f for f in failures)
+
+    def test_diversity_violation_detected(self, paper_relation):
+        constraints = ConstraintSet([DiversityConstraint("ETH", "Asian", 4, 5)])
+        solution = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        problem = KSigmaProblem(paper_relation, constraints, 2)
+        failures = problem.validate_solution(solution)
+        assert any("violated" in f for f in failures)

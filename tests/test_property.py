@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import KMemberAnonymizer, MondrianAnonymizer, OKAAnonymizer
+from repro.core.clusterings import enumerate_clusterings, preserved_count
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.coloring import diverse_clustering
+from repro.core.suppress import normalize_clustering, suppress
+from repro.data.loaders import load_relation, save_relation
+from repro.data.relation import STAR, Relation, Schema, generalizes
+from repro.metrics.conflict import conflict_rate, pairwise_conflict
+from repro.metrics.discernibility import accuracy, discernibility
+from repro.metrics.information_loss import star_ratio
+from repro.metrics.stats import is_k_anonymous
+
+SCHEMA = Schema.from_names(qi=["A", "B", "C"], sensitive=["S"])
+
+values_a = st.sampled_from(["a0", "a1", "a2"])
+values_b = st.sampled_from(["b0", "b1"])
+values_c = st.sampled_from(["c0", "c1", "c2", "c3"])
+values_s = st.sampled_from(["s0", "s1", "s2"])
+
+rows = st.tuples(values_a, values_b, values_c, values_s)
+
+
+@st.composite
+def relations(draw, min_rows=1, max_rows=24):
+    data = draw(st.lists(rows, min_size=min_rows, max_size=max_rows))
+    return Relation(SCHEMA, data)
+
+
+@st.composite
+def relations_with_clustering(draw, k=2):
+    relation = draw(relations(min_rows=2 * k, max_rows=20))
+    tids = list(relation.tids)
+    n_clusters = draw(st.integers(0, len(tids) // k))
+    index = draw(st.permutations(tids))
+    clusters, cursor = [], 0
+    for _ in range(n_clusters):
+        size = draw(st.integers(k, max(k, min(len(tids) - cursor, 2 * k))))
+        if cursor + size > len(tids):
+            break
+        clusters.append(frozenset(index[cursor:cursor + size]))
+        cursor += size
+    return relation, tuple(clusters)
+
+
+@st.composite
+def constraints(draw):
+    attr = draw(st.sampled_from(["A", "B", "C", "S"]))
+    domain = {"A": values_a, "B": values_b, "C": values_c, "S": values_s}[attr]
+    value = draw(domain)
+    lower = draw(st.integers(0, 4))
+    upper = draw(st.integers(lower, 12))
+    return DiversityConstraint(attr, value, lower, upper)
+
+
+class TestSuppressInvariants:
+    @given(relations_with_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_output_generalizes_input(self, rc):
+        relation, clustering = rc
+        covered = {tid for c in clustering for tid in c}
+        suppressed = suppress(relation, clustering)
+        assert generalizes(relation.restrict(covered), suppressed)
+
+    @given(relations_with_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_each_cluster_uniform_after_suppression(self, rc):
+        relation, clustering = rc
+        suppressed = suppress(relation, clustering)
+        qi_positions = [
+            suppressed.schema.position(a) for a in suppressed.schema.qi_names
+        ]
+        for cluster in clustering:
+            rows_ = [suppressed.row(tid) for tid in cluster]
+            for pos in qi_positions:
+                assert len({r[pos] for r in rows_}) == 1
+
+    @given(relations_with_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_sensitive_cells_never_starred(self, rc):
+        relation, clustering = rc
+        suppressed = suppress(relation, clustering)
+        pos = suppressed.schema.position("S")
+        for _, row in suppressed:
+            assert row[pos] is not STAR
+
+    @given(relations_with_clustering(k=2))
+    @settings(max_examples=60, deadline=None)
+    def test_clusters_become_k_anonymous_groups(self, rc):
+        relation, clustering = rc
+        suppressed = suppress(relation, clustering)
+        assert is_k_anonymous(suppressed, 2)
+
+
+class TestPreservedCountInvariant:
+    @given(relations_with_clustering(), constraints())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_suppress_semantics(self, rc, sigma):
+        """preserved_count is exactly the count on the Suppress output."""
+        relation, clustering = rc
+        expected = sigma.count(suppress(relation, clustering))
+        assert preserved_count(relation, clustering, sigma) == expected
+
+
+class TestEnumerationInvariants:
+    @given(relations(min_rows=4), constraints(), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_satisfy_sigma(self, relation, sigma, k):
+        qi_sigma = any(a in relation.schema.qi_names for a in sigma.attrs)
+        for clustering in enumerate_clusterings(
+            relation, sigma, k, max_candidates=8
+        ):
+            if not qi_sigma:
+                # Non-QI constraints need no clustering: counts are global.
+                assert clustering == ()
+                continue
+            suppressed = suppress(relation, clustering)
+            count = sigma.count(suppressed)
+            assert sigma.lower <= count <= sigma.upper
+            for cluster in clustering:
+                assert len(cluster) >= k
+
+    @given(relations(min_rows=4), constraints(), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_and_unique(self, relation, sigma, k):
+        found = enumerate_clusterings(relation, sigma, k, max_candidates=8)
+        keys = [tuple(tuple(sorted(c)) for c in s) for s in found]
+        assert len(keys) == len(set(keys))
+        for clustering in found:
+            assert normalize_clustering(clustering) == clustering
+
+
+class TestColoringInvariants:
+    @given(relations(min_rows=6, max_rows=18), st.lists(constraints(), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_success_implies_satisfaction(self, relation, sigma_list):
+        unique = []
+        for sigma in sigma_list:
+            if sigma not in unique:
+                unique.append(sigma)
+        sigma_set = ConstraintSet(unique)
+        result = diverse_clustering(relation, sigma_set, k=2, max_steps=5_000)
+        if result.success:
+            suppressed = suppress(relation, result.clustering)
+            qi = set(relation.schema.qi_names)
+            for sigma in sigma_set:
+                if not any(a in qi for a in sigma.attrs):
+                    continue  # non-QI counts are global, not SΣ-local
+                count = sigma.count(suppressed)
+                assert count <= sigma.upper
+                if sigma.lower > 0:
+                    assert count >= sigma.lower
+
+
+class TestMetricInvariants:
+    @given(relations_with_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_accuracy_in_unit_interval(self, rc):
+        relation, clustering = rc
+        suppressed = suppress(relation, clustering)
+        if len(suppressed) == 0:
+            return
+        assert 0.0 <= accuracy(suppressed, 2) <= 1.0
+
+    @given(relations(min_rows=1))
+    @settings(max_examples=60, deadline=None)
+    def test_discernibility_lower_bound(self, relation):
+        """disc ≥ |R| always (every tuple counts at least once)."""
+        assert discernibility(relation, 1) >= len(relation)
+
+    @given(relations(min_rows=2), constraints(), constraints())
+    @settings(max_examples=60, deadline=None)
+    def test_conflict_symmetric_and_bounded(self, relation, a, b):
+        ab = pairwise_conflict(relation, a, b)
+        ba = pairwise_conflict(relation, b, a)
+        assert ab == ba
+        assert 0.0 <= ab <= 1.0
+
+    @given(relations(min_rows=2), st.lists(constraints(), min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_rate_bounded(self, relation, sigma_list):
+        unique = []
+        for sigma in sigma_list:
+            if sigma not in unique:
+                unique.append(sigma)
+        rate = conflict_rate(relation, ConstraintSet(unique))
+        assert 0.0 <= rate <= 1.0
+
+    @given(relations_with_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_star_ratio_bounded(self, rc):
+        relation, clustering = rc
+        suppressed = suppress(relation, clustering)
+        assert 0.0 <= star_ratio(suppressed) <= 1.0
+
+
+class TestCsvRoundTripProperty:
+    @given(rc=relations_with_clustering())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, rc, tmp_path_factory):
+        relation, clustering = rc
+        suppressed = suppress(relation, clustering)
+        path = tmp_path_factory.mktemp("csv") / "relation.csv"
+        save_relation(suppressed, path)
+        assert load_relation(path) == suppressed
+
+
+class TestAnonymizerProperties:
+    @given(relations(min_rows=6, max_rows=20), st.integers(2, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_kmember_contract(self, relation, k):
+        anonymized = KMemberAnonymizer().anonymize(relation, k)
+        assert is_k_anonymous(anonymized, k)
+        assert generalizes(relation, anonymized)
+
+    @given(relations(min_rows=6, max_rows=20), st.integers(2, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_oka_contract(self, relation, k):
+        anonymized = OKAAnonymizer().anonymize(relation, k)
+        assert is_k_anonymous(anonymized, k)
+        assert generalizes(relation, anonymized)
+
+    @given(relations(min_rows=6, max_rows=20), st.integers(2, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_mondrian_contract(self, relation, k):
+        anonymized = MondrianAnonymizer().anonymize(relation, k)
+        assert is_k_anonymous(anonymized, k)
+        assert generalizes(relation, anonymized)

@@ -1,0 +1,134 @@
+"""Property-based tests for the extension modules (hierarchy, DP, refine)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.refine import refine_clusters
+from repro.core.suppress import suppress
+from repro.data.relation import Relation, Schema
+from repro.generalize import ValueHierarchy
+from repro.privacy.dp import RandomizedResponse
+
+# A three-level geographic hierarchy reused across properties.
+CITIES = ["c1", "c2", "c3", "c4", "c5", "c6"]
+PARENTS = {
+    "c1": "r1", "c2": "r1", "c3": "r2", "c4": "r2", "c5": "r3", "c6": "r3",
+    "r1": "top", "r2": "top", "r3": "top",
+}
+HIERARCHY = ValueHierarchy(PARENTS)
+
+values = st.sampled_from(CITIES)
+levels = st.integers(0, 5)
+
+
+class TestHierarchyProperties:
+    @given(values, levels, levels)
+    @settings(max_examples=60, deadline=None)
+    def test_generalize_composes(self, value, a, b):
+        """Generalizing a+b steps equals generalizing a then b steps."""
+        direct = HIERARCHY.generalize(value, a + b)
+        staged = HIERARCHY.generalize(HIERARCHY.generalize(value, a), b)
+        assert direct == staged
+
+    @given(values, levels)
+    @settings(max_examples=60, deadline=None)
+    def test_depth_decreases(self, value, n):
+        generalized = HIERARCHY.generalize(value, n)
+        assert HIERARCHY.depth(generalized) == max(0, HIERARCHY.depth(value) - n)
+
+    @given(st.lists(values, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_lca_is_common_ancestor(self, group):
+        lca = HIERARCHY.common_ancestor(group)
+        for value in group:
+            # lca lies on value's chain to the root.
+            node, found = value, False
+            while True:
+                if node == lca:
+                    found = True
+                    break
+                parent = HIERARCHY.parent(node)
+                if parent is None:
+                    break
+                node = parent
+            assert found, (value, lca)
+
+    @given(st.lists(values, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_lca_order_invariant(self, group):
+        assert HIERARCHY.common_ancestor(group) == HIERARCHY.common_ancestor(
+            list(reversed(group))
+        )
+
+    @given(values)
+    @settings(max_examples=30, deadline=None)
+    def test_generality_bounds(self, value):
+        assert 0.0 <= HIERARCHY.generality(value) <= 1.0
+
+
+class TestRandomizedResponseProperties:
+    @given(
+        st.integers(2, 6),
+        st.floats(0.1, 5.0, allow_nan=False),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_probability_normalization(self, domain_size, epsilon, seed):
+        domain = [f"v{i}" for i in range(domain_size)]
+        mech = RandomizedResponse(domain, epsilon)
+        total = mech.p_keep + (domain_size - 1) * mech.p_other
+        assert abs(total - 1.0) < 1e-9
+        assert mech.p_keep > mech.p_other  # truth is always the mode
+
+    @given(st.integers(2, 5), st.floats(0.1, 4.0), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_reports_in_domain(self, domain_size, epsilon, seed):
+        domain = [f"v{i}" for i in range(domain_size)]
+        mech = RandomizedResponse(domain, epsilon)
+        rng = np.random.default_rng(seed)
+        for value in domain:
+            assert mech.randomize(value, rng) in set(domain)
+
+    @given(st.integers(2, 4), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_estimator_totals_preserved(self, domain_size, seed):
+        """Estimated counts sum to the number of concrete reports."""
+        domain = [f"v{i}" for i in range(domain_size)]
+        mech = RandomizedResponse(domain, 1.0)
+        rng = np.random.default_rng(seed)
+        truth = [domain[int(rng.integers(0, domain_size))] for _ in range(60)]
+        reported = [mech.randomize(v, rng) for v in truth]
+        estimates = mech.estimate_counts(reported)
+        assert abs(sum(estimates.values()) - 60) < 1e-6
+
+
+SCHEMA = Schema.from_names(qi=["A", "B"], sensitive=["S"])
+refine_rows = st.tuples(
+    st.sampled_from(["a0", "a1", "a2"]),
+    st.sampled_from(["b0", "b1"]),
+    st.just("s"),
+)
+
+
+class TestRefineProperties:
+    @given(st.lists(refine_rows, min_size=8, max_size=20), st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_refine_never_increases_stars(self, rows, seed):
+        relation = Relation(SCHEMA, rows)
+        rng = np.random.default_rng(seed)
+        tids = list(relation.tids)
+        rng.shuffle(tids)
+        k = 2
+        clusters = [set(tids[i:i + k]) for i in range(0, len(tids) - k + 1, k)]
+        leftover = set(tids[len(clusters) * k:])
+        if leftover:
+            clusters[-1] |= leftover
+        before = suppress(relation, clusters).star_count()
+        refined, saved = refine_clusters(relation, clusters, k)
+        after = suppress(relation, refined).star_count()
+        assert saved >= 0
+        assert after == before - saved
+        for cluster in refined:
+            assert len(cluster) >= k
+        assert set().union(*refined) == set(relation.tids)

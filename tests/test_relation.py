@@ -1,0 +1,260 @@
+"""Unit tests for the relational data layer."""
+
+import pickle
+
+import pytest
+
+from repro.data.relation import (
+    STAR,
+    Attribute,
+    AttributeKind,
+    Relation,
+    Schema,
+    generalizes,
+    is_star,
+)
+
+
+class TestStar:
+    def test_singleton(self):
+        from repro.data.relation import _Star
+
+        assert _Star() is STAR
+
+    def test_repr(self):
+        assert repr(STAR) == "★"
+        assert str(STAR) == "★"
+
+    def test_is_star(self):
+        assert is_star(STAR)
+        assert not is_star("★")
+        assert not is_star(None)
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(STAR)) is STAR
+
+    def test_hashable(self):
+        assert len({STAR, STAR}) == 1
+
+
+class TestSchema:
+    def test_from_names_order_and_kinds(self):
+        schema = Schema.from_names(
+            qi=["A", "B"], sensitive=["S"], insensitive=["X"], numeric=["B"]
+        )
+        assert schema.names == ("A", "B", "S", "X")
+        assert schema.qi_names == ("A", "B")
+        assert schema.sensitive_names == ("S",)
+        assert schema["B"].numeric
+        assert not schema["A"].numeric
+        assert schema["S"].kind is AttributeKind.SENSITIVE
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema.from_names(qi=["A", "A"])
+
+    def test_position_and_lookup(self, tiny_schema):
+        assert tiny_schema.position("B") == 1
+        assert tiny_schema["A"].is_qi
+        with pytest.raises(KeyError):
+            tiny_schema.position("missing")
+        with pytest.raises(KeyError):
+            tiny_schema["missing"]
+
+    def test_contains_and_len(self, tiny_schema):
+        assert "A" in tiny_schema
+        assert "missing" not in tiny_schema
+        assert len(tiny_schema) == 3
+
+    def test_equality_and_hash(self):
+        a = Schema.from_names(qi=["A"], sensitive=["S"])
+        b = Schema.from_names(qi=["A"], sensitive=["S"])
+        assert a == b
+        assert hash(a) == hash(b)
+        c = Schema.from_names(qi=["A", "B"], sensitive=["S"])
+        assert a != c
+
+    def test_validate_names(self, tiny_schema):
+        tiny_schema.validate_names(["A", "S"])
+        with pytest.raises(KeyError):
+            tiny_schema.validate_names(["A", "Z"])
+
+    def test_iteration_yields_attributes(self, tiny_schema):
+        kinds = [a.kind for a in tiny_schema]
+        assert kinds == [
+            AttributeKind.QUASI_IDENTIFIER,
+            AttributeKind.QUASI_IDENTIFIER,
+            AttributeKind.SENSITIVE,
+        ]
+
+
+class TestRelationConstruction:
+    def test_default_tids(self, tiny_relation):
+        assert tiny_relation.tids == (0, 1, 2, 3, 4, 5)
+
+    def test_explicit_tids(self, tiny_schema):
+        r = Relation(tiny_schema, [("a", "b", "s")], tids=[42])
+        assert r.tids == (42,)
+        assert r.row(42) == ("a", "b", "s")
+
+    def test_row_width_mismatch(self, tiny_schema):
+        with pytest.raises(ValueError, match="width"):
+            Relation(tiny_schema, [("a", "b")])
+
+    def test_duplicate_tids_rejected(self, tiny_schema):
+        with pytest.raises(ValueError, match="unique"):
+            Relation(tiny_schema, [("a", "b", "s")] * 2, tids=[1, 1])
+
+    def test_tid_count_mismatch(self, tiny_schema):
+        with pytest.raises(ValueError, match="length"):
+            Relation(tiny_schema, [("a", "b", "s")], tids=[1, 2])
+
+    def test_from_dicts(self, tiny_schema):
+        r = Relation.from_dicts(
+            tiny_schema, [{"A": "x", "B": "y", "S": "z"}]
+        )
+        assert r.row(0) == ("x", "y", "z")
+
+    def test_record_round_trip(self, tiny_relation):
+        rec = tiny_relation.record(2)
+        assert rec == {"A": "a1", "B": "b2", "S": "s1"}
+
+
+class TestRelationAccess:
+    def test_value(self, tiny_relation):
+        assert tiny_relation.value(0, "A") == "a1"
+        assert tiny_relation.value(5, "B") == "b3"
+
+    def test_unknown_tid(self, tiny_relation):
+        with pytest.raises(KeyError):
+            tiny_relation.row(99)
+
+    def test_iteration_order(self, tiny_relation):
+        tids = [tid for tid, _ in tiny_relation]
+        assert tids == [0, 1, 2, 3, 4, 5]
+
+    def test_contains(self, tiny_relation):
+        assert 3 in tiny_relation
+        assert 99 not in tiny_relation
+
+    def test_equality_order_insensitive(self, tiny_schema):
+        r1 = Relation(tiny_schema, [("a", "b", "s"), ("c", "d", "e")], tids=[1, 2])
+        r2 = Relation(tiny_schema, [("c", "d", "e"), ("a", "b", "s")], tids=[2, 1])
+        assert r1 == r2
+
+    def test_inequality_different_schema(self, tiny_relation):
+        other_schema = Schema.from_names(qi=["A", "B", "S"])
+        other = Relation(other_schema, [row for _, row in tiny_relation])
+        assert tiny_relation != other
+
+
+class TestRelationOps:
+    def test_project(self, tiny_relation):
+        assert tiny_relation.project(["A"]) == [
+            ("a1",), ("a1",), ("a1",), ("a2",), ("a2",), ("a2",)
+        ]
+
+    def test_distinct_projection_defaults_to_qi(self, tiny_relation):
+        assert tiny_relation.distinct_projection_size() == 4  # (a1,b1)(a1,b2)(a2,b2)(a2,b3)
+
+    def test_value_counts(self, tiny_relation):
+        counts = tiny_relation.value_counts("A")
+        assert counts == {"a1": 3, "a2": 3}
+
+    def test_count_matching_multi_attr(self, tiny_relation):
+        assert tiny_relation.count_matching(["A", "B"], ["a2", "b2"]) == 2
+
+    def test_matching_tids(self, tiny_relation):
+        assert tiny_relation.matching_tids(["B"], ["b2"]) == {2, 3, 4}
+
+    def test_star_never_matches(self, tiny_relation):
+        starred = tiny_relation.suppress_values([(2, "B")])
+        assert starred.matching_tids(["B"], ["b2"]) == {3, 4}
+        assert starred.count_matching(["B"], ["b2"]) == 2
+
+    def test_restrict(self, tiny_relation):
+        sub = tiny_relation.restrict({1, 3})
+        assert set(sub.tids) == {1, 3}
+        assert sub.row(3) == tiny_relation.row(3)
+
+    def test_restrict_unknown_tid(self, tiny_relation):
+        with pytest.raises(KeyError):
+            tiny_relation.restrict({99})
+
+    def test_without(self, tiny_relation):
+        rest = tiny_relation.without({0, 1, 2})
+        assert set(rest.tids) == {3, 4, 5}
+
+    def test_union_disjoint(self, tiny_relation):
+        a = tiny_relation.restrict({0, 1})
+        b = tiny_relation.restrict({2, 3})
+        u = a.union(b)
+        assert set(u.tids) == {0, 1, 2, 3}
+
+    def test_union_overlap_rejected(self, tiny_relation):
+        a = tiny_relation.restrict({0, 1})
+        b = tiny_relation.restrict({1, 2})
+        with pytest.raises(ValueError, match="overlap"):
+            a.union(b)
+
+    def test_union_schema_mismatch(self, tiny_relation):
+        other_schema = Schema.from_names(qi=["A", "B", "S"])
+        other = Relation(other_schema, [], tids=[])
+        with pytest.raises(ValueError, match="schema"):
+            tiny_relation.union(other)
+
+    def test_replace_rows(self, tiny_relation):
+        new = tiny_relation.replace_rows({0: ("zz", "b1", "s1")})
+        assert new.row(0) == ("zz", "b1", "s1")
+        assert tiny_relation.row(0) == ("a1", "b1", "s1")  # original untouched
+
+    def test_replace_rows_width_check(self, tiny_relation):
+        with pytest.raises(ValueError, match="width"):
+            tiny_relation.replace_rows({0: ("x",)})
+
+
+class TestSuppression:
+    def test_suppress_values(self, tiny_relation):
+        starred = tiny_relation.suppress_values([(0, "A"), (0, "B"), (1, "A")])
+        assert starred.row(0) == (STAR, STAR, "s1")
+        assert starred.row(1) == (STAR, "b1", "s2")
+        assert starred.star_count() == 3
+
+    def test_star_count_zero(self, tiny_relation):
+        assert tiny_relation.star_count() == 0
+
+    def test_qi_groups(self, tiny_relation):
+        groups = tiny_relation.qi_groups()
+        assert groups[("a1", "b1")] == {0, 1}
+        assert groups[("a2", "b2")] == {3, 4}
+        assert len(groups) == 4
+
+    def test_qi_groups_after_suppression(self, tiny_relation):
+        starred = tiny_relation.suppress_values(
+            [(2, "B"), (5, "B")]
+        )
+        groups = starred.qi_groups()
+        assert groups[("a1", STAR)] == {2}
+        assert groups[("a2", STAR)] == {5}
+
+
+class TestGeneralizes:
+    def test_reflexive(self, tiny_relation):
+        assert generalizes(tiny_relation, tiny_relation)
+
+    def test_star_only_changes_allowed(self, tiny_relation):
+        starred = tiny_relation.suppress_values([(0, "A")])
+        assert generalizes(tiny_relation, starred)
+        assert not generalizes(starred, tiny_relation)  # can't un-suppress
+
+    def test_value_change_rejected(self, tiny_relation):
+        altered = tiny_relation.replace_rows({0: ("zz", "b1", "s1")})
+        assert not generalizes(tiny_relation, altered)
+
+    def test_tid_mismatch_rejected(self, tiny_relation):
+        subset = tiny_relation.restrict({0, 1})
+        assert not generalizes(tiny_relation, subset)
+
+    def test_is_suppression_of(self, tiny_relation):
+        starred = tiny_relation.suppress_values([(3, "A")])
+        assert starred.is_suppression_of(tiny_relation)

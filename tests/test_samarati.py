@@ -1,0 +1,209 @@
+"""Tests for Samarati full-domain generalization and dataset hierarchies."""
+
+import pytest
+
+from repro.core.errors import AnonymizationError
+from repro.data.datasets import make_census, make_credit, make_popsyn
+from repro.data.hierarchies import (
+    DATASET_HIERARCHIES,
+    age_hierarchy,
+    hierarchies_for,
+)
+from repro.data.relation import Relation, Schema
+from repro.generalize import SamaratiAnonymizer, ValueHierarchy
+from repro.metrics.stats import is_k_anonymous
+
+
+@pytest.fixture(scope="module")
+def popsyn():
+    return make_popsyn(seed=8, n_rows=200)
+
+
+@pytest.fixture(scope="module")
+def popsyn_h(popsyn):
+    return hierarchies_for("popsyn", popsyn)
+
+
+class TestDatasetHierarchies:
+    def test_registry(self):
+        assert set(DATASET_HIERARCHIES) == {
+            "popsyn", "census", "credit", "pantheon",
+        }
+
+    def test_unknown_dataset(self, popsyn):
+        with pytest.raises(ValueError, match="no hierarchies"):
+            hierarchies_for("imagenet", popsyn)
+
+    def test_pantheon_covers_all_qi(self):
+        from repro.data.datasets import make_pantheon
+
+        pantheon = make_pantheon(seed=0, n_rows=120)
+        hierarchies = hierarchies_for("pantheon", pantheon)
+        assert set(pantheon.schema.qi_names) <= set(hierarchies)
+
+    def test_pantheon_geo_chain(self):
+        from repro.data.datasets import make_pantheon
+
+        pantheon = make_pantheon(seed=0, n_rows=120)
+        geo = hierarchies_for("pantheon", pantheon)["CITY"]
+        city = pantheon.value(pantheon.tids[0], "CITY")
+        country = pantheon.value(pantheon.tids[0], "COUNTRY")
+        assert geo.generalize(city, 1) == country
+        assert geo.root() == "World"
+
+    def test_popsyn_covers_all_qi(self, popsyn, popsyn_h):
+        assert set(popsyn.schema.qi_names) <= set(popsyn_h)
+
+    def test_census_covers_all_qi(self):
+        census = make_census(seed=0, n_rows=100)
+        hierarchies = hierarchies_for("census", census)
+        assert set(census.schema.qi_names) <= set(hierarchies)
+
+    def test_credit_covers_all_qi(self):
+        credit = make_credit(seed=0, n_rows=100)
+        hierarchies = hierarchies_for("credit", credit)
+        assert set(credit.schema.qi_names) <= set(hierarchies)
+
+    def test_city_rolls_to_country(self, popsyn_h):
+        assert popsyn_h["CTY"].generalize("Calgary", 1) == "AB"
+        assert popsyn_h["CTY"].generalize("Calgary", 2) == "Canada"
+
+    def test_age_hierarchy_levels(self, popsyn):
+        hierarchy = age_hierarchy(popsyn, "AGE")
+        assert hierarchy.generalize(43, 1) == "40s"
+        assert hierarchy.generalize(43, 2) == "18-59"
+        assert hierarchy.generalize(75, 2) == "60+"
+        assert hierarchy.generalize(43, 3) == "Any"
+
+
+class TestSamarati:
+    def test_k_anonymous_output(self, popsyn, popsyn_h):
+        anonymizer = SamaratiAnonymizer(popsyn_h, maxsup=10)
+        anonymized, solution = anonymizer.anonymize(popsyn, 5)
+        assert is_k_anonymous(anonymized, 5)
+        assert len(solution.suppressed) <= 10
+        assert len(anonymized) == len(popsyn) - len(solution.suppressed)
+
+    def test_minimal_height(self, popsyn, popsyn_h):
+        """No state at height − 1 satisfies the instance."""
+        anonymizer = SamaratiAnonymizer(popsyn_h, maxsup=10)
+        _, solution = anonymizer.anonymize(popsyn, 5)
+        if solution.height > 0:
+            assert anonymizer._solve_at(popsyn, solution.height - 1, 5) is None
+
+    def test_higher_k_needs_height_at_least(self, popsyn, popsyn_h):
+        anonymizer = SamaratiAnonymizer(popsyn_h, maxsup=10)
+        _, low_k = anonymizer.anonymize(popsyn, 3)
+        _, high_k = anonymizer.anonymize(popsyn, 10)
+        assert high_k.height >= low_k.height
+
+    def test_maxsup_zero_generalizes_more(self, popsyn, popsyn_h):
+        strict = SamaratiAnonymizer(popsyn_h, maxsup=0)
+        lax = SamaratiAnonymizer(popsyn_h, maxsup=20)
+        _, strict_sol = strict.anonymize(popsyn, 5)
+        _, lax_sol = lax.anonymize(popsyn, 5)
+        assert strict_sol.height >= lax_sol.height
+        assert strict_sol.suppressed == frozenset()
+
+    def test_missing_hierarchy_rejected(self, popsyn):
+        with pytest.raises(AnonymizationError, match="no hierarchy"):
+            SamaratiAnonymizer({}).anonymize(popsyn, 3)
+
+    def test_invalid_params(self, popsyn, popsyn_h):
+        with pytest.raises(ValueError):
+            SamaratiAnonymizer(popsyn_h, maxsup=-1)
+        with pytest.raises(ValueError):
+            SamaratiAnonymizer(popsyn_h).anonymize(popsyn, 0)
+
+    def test_impossible_instance(self):
+        """k > |R| − maxsup cannot be reached even at the lattice top."""
+        schema = Schema.from_names(qi=["A"])
+        relation = Relation(schema, [("a",), ("b",), ("c",)])
+        hierarchy = {"A": ValueHierarchy.flat(["a", "b", "c"])}
+        with pytest.raises(AnonymizationError, match="full generalization"):
+            SamaratiAnonymizer(hierarchy, maxsup=2).anonymize(relation, 4)
+
+    def test_state_application(self, popsyn, popsyn_h):
+        anonymizer = SamaratiAnonymizer(popsyn_h)
+        recoded = anonymizer.apply_state(popsyn, {"CTY": 1, "GEN": 0})
+        cities = {v for (v,) in recoded.project(["CTY"])}
+        assert cities <= set("Canada") | {"AB", "BC", "MB", "ON", "QC", "SK"}
+
+    def test_zero_state_identity(self, popsyn, popsyn_h):
+        anonymizer = SamaratiAnonymizer(popsyn_h)
+        assert anonymizer.apply_state(popsyn, {}) == popsyn
+
+    def test_states_at_height_sum(self, popsyn, popsyn_h):
+        anonymizer = SamaratiAnonymizer(popsyn_h)
+        for levels in anonymizer.states_at_height(popsyn, 3):
+            assert sum(level for _, level in levels) == 3
+
+    def test_credit_end_to_end(self):
+        credit = make_credit(seed=2, n_rows=150)
+        hierarchies = hierarchies_for("credit", credit)
+        anonymizer = SamaratiAnonymizer(hierarchies, maxsup=8)
+        anonymized, solution = anonymizer.anonymize(credit, 5)
+        assert is_k_anonymous(anonymized, 5)
+
+
+class TestIncognito:
+    def test_minimal_solutions_are_minimal(self, popsyn, popsyn_h):
+        from repro.generalize import IncognitoAnonymizer
+
+        incognito = IncognitoAnonymizer(popsyn_h, maxsup=10)
+        solutions = incognito.minimal_solutions(popsyn, 5)
+        assert solutions
+        vectors = [tuple(l for _, l in s.levels) for s in solutions]
+        # Pairwise incomparable: no solution dominates another.
+        for i, a in enumerate(vectors):
+            for b in vectors[i + 1:]:
+                assert not all(x >= y for x, y in zip(a, b))
+                assert not all(y >= x for x, y in zip(a, b))
+
+    def test_every_minimal_solution_is_safe(self, popsyn, popsyn_h):
+        from repro.generalize import IncognitoAnonymizer
+
+        incognito = IncognitoAnonymizer(popsyn_h, maxsup=10)
+        for solution in incognito.minimal_solutions(popsyn, 5):
+            outcome = incognito._samarati.check_state(
+                popsyn, dict(solution.levels), 5
+            )
+            assert outcome is not None
+
+    def test_anonymize_k_anonymous_and_no_worse_than_samarati(
+        self, popsyn, popsyn_h
+    ):
+        from repro.generalize import IncognitoAnonymizer
+
+        incognito = IncognitoAnonymizer(popsyn_h, maxsup=10)
+        anonymized, best = incognito.anonymize(popsyn, 5)
+        assert is_k_anonymous(anonymized, 5)
+        samarati = SamaratiAnonymizer(popsyn_h, maxsup=10)
+        _, samarati_sol = samarati.anonymize(popsyn, 5)
+        assert incognito.information_loss(popsyn, best) <= (
+            incognito.information_loss(popsyn, samarati_sol) + 1e-9
+        )
+
+    def test_max_solutions_cap(self, popsyn, popsyn_h):
+        from repro.generalize import IncognitoAnonymizer
+
+        incognito = IncognitoAnonymizer(popsyn_h, maxsup=10)
+        solutions = incognito.minimal_solutions(popsyn, 5, max_solutions=2)
+        assert len(solutions) <= 2
+
+    def test_impossible_instance(self):
+        from repro.generalize import IncognitoAnonymizer
+
+        schema = Schema.from_names(qi=["A"])
+        relation = Relation(schema, [("a",), ("b",), ("c",)])
+        hierarchy = {"A": ValueHierarchy.flat(["a", "b", "c"])}
+        with pytest.raises(AnonymizationError):
+            IncognitoAnonymizer(hierarchy, maxsup=0).minimal_solutions(
+                relation, 4
+            )
+
+    def test_invalid_k(self, popsyn, popsyn_h):
+        from repro.generalize import IncognitoAnonymizer
+
+        with pytest.raises(ValueError):
+            IncognitoAnonymizer(popsyn_h).minimal_solutions(popsyn, 0)

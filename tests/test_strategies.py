@@ -1,0 +1,96 @@
+"""Unit tests for the node/clustering selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.graph import build_graph
+from repro.core.strategies import (
+    STRATEGIES,
+    BasicStrategy,
+    MaxFanOutStrategy,
+    MinChoiceStrategy,
+    make_strategy,
+)
+
+
+@pytest.fixture
+def paper_graph(paper_relation, paper_constraints):
+    return build_graph(paper_relation, paper_constraints)
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_strategy("basic"), BasicStrategy)
+        assert isinstance(make_strategy("minchoice"), MinChoiceStrategy)
+        assert isinstance(make_strategy("MAXFANOUT"), MaxFanOutStrategy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("fancy")
+
+    def test_registry_names(self):
+        assert set(STRATEGIES) == {"basic", "minchoice", "maxfanout"}
+        for name, cls in STRATEGIES.items():
+            assert cls.name == name
+
+
+class TestBasic:
+    def test_picks_member_of_uncolored(self, paper_graph):
+        strategy = BasicStrategy(np.random.default_rng(0))
+        for _ in range(10):
+            pick = strategy.next_node([0, 1, 2], paper_graph, frozenset(), lambda i: 1)
+            assert pick in {0, 1, 2}
+
+    def test_shuffles_clusterings(self):
+        strategy = BasicStrategy(np.random.default_rng(1))
+        candidates = [(frozenset({i}),) for i in range(20)]
+        ordered = strategy.order_clusterings(candidates)
+        assert sorted(ordered) != ordered or ordered != candidates
+        assert sorted(map(str, ordered)) == sorted(map(str, candidates))
+
+    def test_seeded_determinism(self, paper_graph):
+        a = BasicStrategy(np.random.default_rng(3))
+        b = BasicStrategy(np.random.default_rng(3))
+        picks_a = [a.next_node([0, 1, 2], paper_graph, frozenset(), lambda i: 1) for _ in range(5)]
+        picks_b = [b.next_node([0, 1, 2], paper_graph, frozenset(), lambda i: 1) for _ in range(5)]
+        assert picks_a == picks_b
+
+
+class TestMinChoice:
+    def test_picks_fewest_candidates(self, paper_graph):
+        strategy = MinChoiceStrategy()
+        counts = {0: 4, 1: 1, 2: 9}
+        pick = strategy.next_node(
+            [0, 1, 2], paper_graph, frozenset(), lambda i: counts[i]
+        )
+        assert pick == 1
+
+    def test_tie_breaks_by_index(self, paper_graph):
+        strategy = MinChoiceStrategy()
+        pick = strategy.next_node([0, 1, 2], paper_graph, frozenset(), lambda i: 5)
+        assert pick == 0
+
+    def test_keeps_cost_order(self):
+        strategy = MinChoiceStrategy()
+        candidates = [(frozenset({i}),) for i in range(5)]
+        assert strategy.order_clusterings(candidates) == candidates
+
+
+class TestMaxFanOut:
+    def test_picks_most_uncolored_neighbors(self, paper_graph):
+        """v3 (index 2) has two uncolored neighbours; v1/v2 have one."""
+        strategy = MaxFanOutStrategy()
+        pick = strategy.next_node([0, 1, 2], paper_graph, frozenset(), lambda i: 1)
+        assert pick == 2
+
+    def test_colored_neighbors_do_not_count(self, paper_graph):
+        """Once v3 is colored, v1 and v2 have zero uncolored neighbours."""
+        strategy = MaxFanOutStrategy()
+        pick = strategy.next_node([0, 1], paper_graph, frozenset({2}), lambda i: 1)
+        assert pick in {0, 1}
+
+    def test_tie_breaks_by_smaller_index(self, paper_graph):
+        strategy = MaxFanOutStrategy()
+        pick = strategy.next_node([0, 1], paper_graph, frozenset({2}), lambda i: 1)
+        assert pick == 0

@@ -1,0 +1,108 @@
+"""Unit tests for the Suppress routine (Algorithm 2)."""
+
+import pytest
+
+from repro.core.suppress import (
+    covered_tids,
+    min_cluster_size,
+    normalize_clustering,
+    suppress,
+)
+from repro.data.relation import STAR
+
+
+class TestNormalizeClustering:
+    def test_canonical_order(self):
+        normd = normalize_clustering([{3, 4}, {1, 2}])
+        assert normd == (frozenset({1, 2}), frozenset({3, 4}))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalize_clustering([{1}, set()])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            normalize_clustering([{1, 2}, {2, 3}])
+
+    def test_empty_clustering_ok(self):
+        assert normalize_clustering([]) == ()
+
+    def test_idempotent(self):
+        once = normalize_clustering([{5, 6}, {1}])
+        assert normalize_clustering(once) == once
+
+
+class TestCoveredTids:
+    def test_union(self):
+        assert covered_tids([{1, 2}, {3}]) == {1, 2, 3}
+
+    def test_empty(self):
+        assert covered_tids([]) == set()
+
+
+class TestMinClusterSize:
+    def test_min(self):
+        assert min_cluster_size([{1, 2, 3}, {4, 5}]) == 2
+
+    def test_empty(self):
+        assert min_cluster_size([]) == 0
+
+
+class TestSuppress:
+    def test_paper_example_sigma1(self, paper_relation):
+        """Suppressing {t9, t10} stars everything they disagree on."""
+        result = suppress(paper_relation, [{9, 10}])
+        assert set(result.tids) == {9, 10}
+        # Both Female Asian; AGE, PRV, CTY differ.
+        assert result.row(9) == ("Female", "Asian", STAR, STAR, STAR, "Influenza")
+        assert result.row(10) == ("Female", "Asian", STAR, STAR, STAR, "Migraine")
+
+    def test_sensitive_never_suppressed(self, paper_relation):
+        result = suppress(paper_relation, [{1, 3, 5}])
+        for tid in (1, 3, 5):
+            assert result.value(tid, "DIAG") is not STAR
+
+    def test_uniform_attribute_kept(self, paper_relation):
+        """t1, t2 agree on GEN/ETH/PRV/CTY: only AGE is starred."""
+        result = suppress(paper_relation, [{1, 2}])
+        assert result.row(1) == (
+            "Female", "Caucasian", STAR, "AB", "Calgary", "Hypertension"
+        )
+
+    def test_each_cluster_is_a_qi_group(self, paper_relation):
+        result = suppress(paper_relation, [{5, 6}, {7, 8}, {9, 10}])
+        groups = result.qi_groups()
+        sizes = sorted(len(g) for g in groups.values())
+        assert sizes == [2, 2, 2]
+
+    def test_clusters_produce_satisfying_relation(
+        self, paper_relation, paper_constraints
+    ):
+        """Example 3.1: SΣ = {{t5,t6},{t7,t8},{t9,t10}} satisfies Σ."""
+        result = suppress(paper_relation, [{5, 6}, {7, 8}, {9, 10}])
+        assert paper_constraints.is_satisfied_by(result)
+
+    def test_mixed_target_cluster_breaks_count(self, paper_relation):
+        """Clustering an Asian with a Caucasian stars ETH — count drops."""
+        result = suppress(paper_relation, [{7, 8}])  # Caucasian + Asian
+        assert result.value(7, "ETH") is STAR
+        assert result.value(8, "ETH") is STAR
+        assert result.count_matching(["ETH"], ["Asian"]) == 0
+
+    def test_singleton_cluster_unchanged(self, paper_relation):
+        result = suppress(paper_relation, [{4}])
+        assert result.row(4) == paper_relation.row(4)
+
+    def test_overlapping_clusters_rejected(self, paper_relation):
+        with pytest.raises(ValueError, match="overlap"):
+            suppress(paper_relation, [{1, 2}, {2, 3}])
+
+    def test_result_generalizes_original(self, paper_relation):
+        from repro.data.relation import generalizes
+
+        result = suppress(paper_relation, [{1, 2, 3}])
+        assert generalizes(paper_relation.restrict({1, 2, 3}), result)
+
+    def test_empty_clustering(self, paper_relation):
+        result = suppress(paper_relation, [])
+        assert len(result) == 0

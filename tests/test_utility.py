@@ -1,0 +1,119 @@
+"""Tests for the query-workload utility metrics."""
+
+import pytest
+
+from repro.core.suppress import suppress
+from repro.metrics.utility import (
+    CountQuery,
+    IntervalAnswer,
+    answer_query,
+    evaluate_workload,
+    random_count_workload,
+)
+
+
+class TestCountQuery:
+    def test_true_count(self, paper_relation):
+        query = CountQuery.of(ETH="Asian")
+        assert query.true_count(paper_relation) == 3
+
+    def test_conjunction(self, paper_relation):
+        query = CountQuery.of(GEN="Female", ETH="Asian")
+        assert query.true_count(paper_relation) == 3
+        query2 = CountQuery.of(GEN="Male", ETH="Asian")
+        assert query2.true_count(paper_relation) == 0
+
+    def test_repr(self):
+        query = CountQuery.of(A="x")
+        assert "COUNT(*)" in repr(query)
+
+
+class TestAnswerQuery:
+    def test_exact_on_unsuppressed(self, paper_relation):
+        query = CountQuery.of(CTY="Vancouver")
+        answer = answer_query(paper_relation, query)
+        assert answer.certain == answer.possible == 4
+        assert answer.estimate == pytest.approx(4.0)
+
+    def test_interval_brackets_truth(self, paper_relation):
+        anonymized = suppress(paper_relation, [{5, 6}, {7, 8}, {9, 10}])
+        truth = CountQuery.of(CTY="Vancouver").true_count(
+            paper_relation.restrict({5, 6, 7, 8, 9, 10})
+        )
+        answer = answer_query(anonymized, CountQuery.of(CTY="Vancouver"))
+        assert answer.certain <= truth <= answer.possible
+
+    def test_certain_counts_only_concrete(self, paper_relation):
+        # Cluster {7, 8} stars GEN (Male/Female differ).
+        anonymized = suppress(paper_relation, [{7, 8}])
+        answer = answer_query(anonymized, CountQuery.of(GEN="Male"))
+        assert answer.certain == 0
+        assert answer.possible == 2
+
+    def test_estimate_between_bounds(self, paper_relation):
+        anonymized = suppress(paper_relation, [{5, 6}, {7, 8}, {9, 10}])
+        answer = answer_query(anonymized, CountQuery.of(GEN="Female"))
+        assert answer.certain <= answer.estimate <= answer.possible
+
+    def test_explicit_frequencies(self, paper_relation):
+        anonymized = suppress(paper_relation, [{7, 8}])
+        answer = answer_query(
+            anonymized,
+            CountQuery.of(GEN="Male"),
+            value_frequencies={"GEN": {"Male": 1.0}},
+        )
+        assert answer.estimate == pytest.approx(2.0)
+
+    def test_contains(self):
+        answer = IntervalAnswer(certain=1, possible=4, estimate=2.0)
+        assert answer.contains(3)
+        assert not answer.contains(5)
+
+
+class TestWorkload:
+    def test_random_workload_shapes(self, paper_relation):
+        queries = random_count_workload(paper_relation, 10, seed=1)
+        assert len(queries) == 10
+        for query in queries:
+            assert 1 <= len(query.predicates) <= 2
+            # Predicates are drawn from real rows, so counts are ≥ 1.
+            assert query.true_count(paper_relation) >= 1
+
+    def test_random_workload_deterministic(self, paper_relation):
+        a = random_count_workload(paper_relation, 5, seed=3)
+        b = random_count_workload(paper_relation, 5, seed=3)
+        assert a == b
+
+    def test_invalid_params(self, paper_relation):
+        with pytest.raises(ValueError):
+            random_count_workload(paper_relation, 0)
+        with pytest.raises(ValueError):
+            random_count_workload(paper_relation, 3, max_predicates=0)
+
+    def test_perfect_utility_on_identity(self, paper_relation):
+        queries = random_count_workload(paper_relation, 8, seed=2)
+        report = evaluate_workload(paper_relation, paper_relation, queries)
+        assert report.mean_absolute_error == 0.0
+        assert report.interval_coverage == 1.0
+        assert report.mean_interval_width == 0.0
+
+    def test_coverage_after_suppression(self, paper_relation):
+        anonymized = suppress(
+            paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}]
+        )
+        queries = random_count_workload(paper_relation, 12, seed=4)
+        report = evaluate_workload(paper_relation, anonymized, queries)
+        assert report.interval_coverage == 1.0  # faithful suppression
+        assert report.mean_interval_width > 0.0
+
+    def test_more_suppression_wider_intervals(self, paper_relation):
+        light = suppress(paper_relation, [{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}])
+        heavy = suppress(paper_relation, [set(paper_relation.tids)])
+        queries = random_count_workload(paper_relation, 12, seed=5)
+        light_report = evaluate_workload(paper_relation, light, queries)
+        heavy_report = evaluate_workload(paper_relation, heavy, queries)
+        assert heavy_report.mean_interval_width > light_report.mean_interval_width
+
+    def test_empty_workload_rejected(self, paper_relation):
+        with pytest.raises(ValueError):
+            evaluate_workload(paper_relation, paper_relation, [])

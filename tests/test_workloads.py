@@ -1,0 +1,180 @@
+"""Unit tests for constraint generators and the sweep driver."""
+
+import pytest
+
+from repro.core.problem import KSigmaProblem
+from repro.data.datasets import make_popsyn
+from repro.metrics.conflict import conflict_rate
+from repro.workloads.constraint_gen import (
+    CONSTRAINT_CLASSES,
+    average_constraints,
+    conflicted_constraints,
+    make_constraints,
+    min_frequency_constraints,
+    proportion_constraints,
+)
+from repro.workloads.sweeps import (
+    PARAM_DEFAULTS,
+    PARAM_GRID,
+    TrialResult,
+    run_trials,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def popsyn():
+    return make_popsyn(seed=6, n_rows=400)
+
+
+class TestProportion:
+    def test_count_and_feasibility(self, popsyn):
+        sigma = proportion_constraints(popsyn, 8, k=5, seed=1)
+        assert len(sigma) == 8
+        problem = KSigmaProblem(popsyn, sigma, 5)
+        assert problem.is_feasible()
+
+    def test_bounds_proportional(self, popsyn):
+        sigma = proportion_constraints(popsyn, 8, k=5, alpha=0.5, seed=1)
+        for constraint in sigma:
+            count = constraint.count(popsyn)
+            assert constraint.lower == max(5, -(-count // 2))  # ceil(c/2)
+            assert constraint.upper >= constraint.lower
+
+    def test_bounds_capped(self, popsyn):
+        sigma = proportion_constraints(popsyn, 8, k=5, lower_cap=10, seed=1)
+        for constraint in sigma:
+            assert 5 <= constraint.lower <= 10  # clamped to [k, 2k]
+            assert constraint.upper >= constraint.lower
+
+    def test_lower_cap_respected(self, popsyn):
+        sigma = proportion_constraints(popsyn, 5, k=4, lower_cap=4, seed=2)
+        for constraint in sigma:
+            assert constraint.lower == 4
+
+    def test_original_relation_satisfies_upper(self, popsyn):
+        """With beta=1 the original counts never exceed the upper bounds."""
+        sigma = proportion_constraints(popsyn, 8, k=5, seed=3)
+        for constraint in sigma:
+            assert constraint.count(popsyn) <= constraint.upper
+
+    def test_deterministic(self, popsyn):
+        a = proportion_constraints(popsyn, 6, k=5, seed=4)
+        b = proportion_constraints(popsyn, 6, k=5, seed=4)
+        assert a == b
+
+    def test_invalid_alpha(self, popsyn):
+        with pytest.raises(ValueError):
+            proportion_constraints(popsyn, 4, alpha=0.0)
+
+    def test_invalid_beta(self, popsyn):
+        with pytest.raises(ValueError):
+            proportion_constraints(popsyn, 4, alpha=0.5, beta=0.2)
+
+    def test_pool_too_small(self, popsyn):
+        with pytest.raises(ValueError, match="pool"):
+            proportion_constraints(popsyn, 10_000, k=5)
+
+
+class TestMinFrequency:
+    def test_floor_default(self, popsyn):
+        sigma = min_frequency_constraints(popsyn, 6, k=5, seed=1)
+        for constraint in sigma:
+            assert constraint.lower == 5
+            assert constraint.upper == len(popsyn)
+
+    def test_explicit_floor(self, popsyn):
+        sigma = min_frequency_constraints(popsyn, 6, k=3, floor=7, seed=1)
+        for constraint in sigma:
+            assert constraint.lower == 7
+
+    def test_satisfied_by_original(self, popsyn):
+        sigma = min_frequency_constraints(popsyn, 6, k=3, seed=2)
+        assert sigma.is_satisfied_by(popsyn)
+
+
+class TestAverage:
+    def test_bounds_around_average(self, popsyn):
+        sigma = average_constraints(popsyn, 6, k=3, spread=0.5, seed=1)
+        assert len(sigma) == 6
+        for constraint in sigma:
+            assert constraint.lower >= 3
+
+    def test_invalid_spread(self, popsyn):
+        with pytest.raises(ValueError):
+            average_constraints(popsyn, 4, spread=1.5)
+
+
+class TestConflicted:
+    def test_low_target_low_cf(self, popsyn):
+        sigma = conflicted_constraints(popsyn, 6, target_cf=0.0, k=4, seed=1)
+        assert conflict_rate(popsyn, sigma) <= 0.2
+
+    def test_high_target_high_cf(self, popsyn):
+        sigma = conflicted_constraints(popsyn, 6, target_cf=1.0, k=4, seed=1)
+        assert conflict_rate(popsyn, sigma) >= 0.5
+
+    def test_monotone_in_target(self, popsyn):
+        rates = []
+        for target in (0.0, 0.5, 1.0):
+            sigma = conflicted_constraints(popsyn, 6, target, k=4, seed=2)
+            rates.append(conflict_rate(popsyn, sigma))
+        assert rates[0] <= rates[1] <= rates[2] + 1e-9
+
+    def test_invalid_target(self, popsyn):
+        with pytest.raises(ValueError):
+            conflicted_constraints(popsyn, 4, target_cf=1.5)
+
+    def test_size(self, popsyn):
+        sigma = conflicted_constraints(popsyn, 7, target_cf=0.4, k=4, seed=3)
+        assert len(sigma) == 7
+
+
+class TestRegistry:
+    def test_classes(self):
+        assert set(CONSTRAINT_CLASSES) == {
+            "proportion", "min_frequency", "average",
+        }
+
+    def test_make_constraints(self, popsyn):
+        sigma = make_constraints("proportion", popsyn, 4, k=3, seed=1)
+        assert len(sigma) == 4
+
+    def test_unknown_class(self, popsyn):
+        with pytest.raises(ValueError, match="unknown constraint class"):
+            make_constraints("exotic", popsyn, 4)
+
+
+class TestSweeps:
+    def test_param_grid_matches_table5(self):
+        assert PARAM_GRID["n_constraints"] == [4, 8, 12, 16, 20]
+        assert PARAM_GRID["conflict_rate"] == [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        assert PARAM_GRID["k"] == [10, 20, 30, 40, 50]
+        assert len(PARAM_GRID["n_rows"]) == 5
+
+    def test_defaults_in_grid(self):
+        for key, value in PARAM_DEFAULTS.items():
+            assert value in PARAM_GRID[key]
+
+    def test_run_trials(self):
+        calls = []
+        result = run_trials(lambda t: calls.append(t) or t * 2, n_trials=3)
+        assert calls == [0, 1, 2]
+        assert result.outputs == [0, 2, 4]
+        assert result.last_output == 4
+        assert result.mean_time >= 0
+        assert result.min_time >= 0
+
+    def test_run_trials_invalid(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda t: t, n_trials=0)
+
+    def test_sweep(self):
+        results = sweep([1, 2, 3], lambda v, t: v * 10, label_fmt="n={}", n_trials=2)
+        assert [r.label for r in results] == ["n=1", "n=2", "n=3"]
+        assert [r.last_output for r in results] == [10, 20, 30]
+
+    def test_empty_trial_result(self):
+        result = TrialResult(label="x")
+        assert result.mean_time == 0.0
+        assert result.last_output is None
