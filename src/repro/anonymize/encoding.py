@@ -11,6 +11,12 @@ relation once into numpy arrays:
 
 Suppressed cells never appear in anonymizer *input* (anonymizers run on the
 original relation), so the encoder rejects STAR values.
+
+This is the *metric* encoder (mixed categorical/numeric distances for the
+clustering baselines).  The DIVA core's exact-equality hot paths run on its
+generalization, :class:`repro.core.index.RelationIndex`, which covers every
+column (not just QIs) with pure integer codes, per-constraint masks and
+memoized cluster kernels.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ class QIEncoder:
         self.codebooks: list[dict] = []
         for j, name in enumerate(qi_names):
             attr = schema[name]
-            column = [row[schema.position(name)] for _, row in relation]
+            column = relation.column(name)
             if any(v is STAR for v in column):
                 raise ValueError(
                     f"attribute {name} contains suppressed cells; encode the "

@@ -63,22 +63,30 @@ class KMemberAnonymizer(Anonymizer):
             current = seed
 
         # Leftovers (< k of them): each joins the cluster whose uniform
-        # profile it disturbs least.
+        # profile it disturbs least.  Every cluster's uniform mask is
+        # computed once up front; each assignment then scores all clusters
+        # in one broadcasted pass and updates only the chosen cluster's
+        # mask (its first-member profile never changes).
         leftovers = np.flatnonzero(remaining)
         if len(leftovers) and not clusters_rows:
             # len(relation) >= k guarantees at least one cluster exists.
             raise AssertionError("unreachable: no cluster formed")
-        for row in leftovers:
-            best_cluster, best_cost = None, None
-            for cluster in clusters_rows:
-                block = matrix[cluster]
-                uniform_mask = (block == block[0]).all(axis=0)
-                cost = int(
-                    ((matrix[row] != block[0]) & uniform_mask).sum()
-                ) * (len(cluster) + 1)
-                if best_cost is None or cost < best_cost:
-                    best_cluster, best_cost = cluster, cost
-            best_cluster.append(int(row))
+        if len(leftovers):
+            profiles = matrix[[rows[0] for rows in clusters_rows]]
+            uniform_masks = np.stack(
+                [
+                    (matrix[rows] == profile).all(axis=0)
+                    for rows, profile in zip(clusters_rows, profiles)
+                ]
+            )
+            sizes = np.array([len(rows) for rows in clusters_rows])
+            for row in leftovers:
+                diffs = (profiles != matrix[row]) & uniform_masks
+                costs = diffs.sum(axis=1) * (sizes + 1)
+                best = int(np.argmin(costs))
+                uniform_masks[best] &= ~diffs[best]
+                sizes[best] += 1
+                clusters_rows[best].append(int(row))
 
         tids = enc.tids
         return [set(int(tids[r]) for r in rows) for rows in clusters_rows]

@@ -19,6 +19,7 @@ exhaustive and reproduces the paper's listed clusterings exactly.
 from __future__ import annotations
 
 import itertools
+import math
 from collections.abc import Iterator, Sequence
 from typing import Optional
 
@@ -26,6 +27,7 @@ import numpy as np
 
 from ..data.relation import Relation
 from .constraints import DiversityConstraint
+from .index import RelationIndex, get_index, vectorized_enabled
 from .suppress import normalize_clustering
 
 #: Exhaustively enumerate subsets when the number of combinations per size is
@@ -43,6 +45,17 @@ PARTITIONS_PER_SUBSET = 4
 SMALL_SUBSET_LIMIT = 8
 
 
+def qi_hamming_rows(row_a: Sequence, row_b: Sequence) -> int:
+    """Hamming distance between two pre-projected QI row tuples.
+
+    The one shared reference kernel behind every pure-Python similarity
+    loop (partitioning, subset seeding, dynamic candidates); the vectorized
+    backend replaces calls to it with broadcasted reductions on
+    :class:`~repro.core.index.RelationIndex`.
+    """
+    return sum(1 for x, y in zip(row_a, row_b) if x != y)
+
+
 def qi_distance(relation: Relation, tid_a: int, tid_b: int) -> int:
     """Hamming distance over QI attributes between two tuples.
 
@@ -50,10 +63,19 @@ def qi_distance(relation: Relation, tid_a: int, tid_b: int) -> int:
     star out if the two tuples were clustered alone together, so it doubles
     as the suppression-cost metric used to order candidates.
     """
+    if vectorized_enabled():
+        return get_index(relation).qi_hamming(tid_a, tid_b)
+    return qi_distance_reference(relation, tid_a, tid_b)
+
+
+def qi_distance_reference(relation: Relation, tid_a: int, tid_b: int) -> int:
+    """Pure-Python :func:`qi_distance` (the reference backend)."""
     schema = relation.schema
     row_a, row_b = relation.row(tid_a), relation.row(tid_b)
     positions = [schema.position(a) for a in schema.qi_names]
-    return sum(1 for p in positions if row_a[p] != row_b[p])
+    return qi_hamming_rows(
+        tuple(row_a[p] for p in positions), tuple(row_b[p] for p in positions)
+    )
 
 
 def cluster_suppression_cost(relation: Relation, cluster: frozenset) -> int:
@@ -61,6 +83,13 @@ def cluster_suppression_cost(relation: Relation, cluster: frozenset) -> int:
 
     Cost = (#QI attributes with >1 distinct value in the cluster) × |cluster|.
     """
+    if vectorized_enabled():
+        return get_index(relation).cluster_cost(frozenset(cluster))
+    return cluster_suppression_cost_reference(relation, cluster)
+
+
+def cluster_suppression_cost_reference(relation: Relation, cluster: frozenset) -> int:
+    """Pure-Python :func:`cluster_suppression_cost` (the reference backend)."""
     schema = relation.schema
     positions = [schema.position(a) for a in schema.qi_names]
     rows = [relation.row(tid) for tid in cluster]
@@ -71,8 +100,16 @@ def cluster_suppression_cost(relation: Relation, cluster: frozenset) -> int:
 def clustering_suppression_cost(
     relation: Relation, clustering: Sequence[frozenset]
 ) -> int:
-    """Total suppression cost of a clustering (sum over clusters)."""
-    return sum(cluster_suppression_cost(relation, c) for c in clustering)
+    """Total suppression cost of a clustering (sum over clusters).
+
+    The vectorized backend scores all memo-missing clusters in a single
+    batched segment reduction (see ``RelationIndex.clustering_cost``).
+    """
+    if vectorized_enabled():
+        return get_index(relation).clustering_cost(clustering)
+    return sum(
+        cluster_suppression_cost_reference(relation, c) for c in clustering
+    )
 
 
 def preserved_count(
@@ -92,7 +129,20 @@ def preserved_count(
     non-QI components, provided the cluster is uniform-and-matching on every
     QI component (otherwise it contributes zero: the QI value is either
     wrong or starred for the whole cluster).
+
+    Dispatches to the memoized mask/uniformity kernel of
+    :class:`~repro.core.index.RelationIndex` unless the reference backend
+    is active.
     """
+    if vectorized_enabled():
+        return get_index(relation).preserved_count_many(clusters, sigma)
+    return preserved_count_reference(relation, clusters, sigma)
+
+
+def preserved_count_reference(
+    relation: Relation, clusters: Sequence[frozenset], sigma: DiversityConstraint
+) -> int:
+    """Pure-Python :func:`preserved_count` (the reference backend)."""
     schema = relation.schema
     qi = set(schema.qi_names)
     parts = [
@@ -119,7 +169,10 @@ def preserved_count(
 
 
 def greedy_k_partition(
-    items: tuple[int, ...], k: int, qi_rows: dict[int, tuple]
+    items: tuple[int, ...],
+    k: int,
+    qi_rows: Optional[dict[int, tuple]] = None,
+    index: Optional[RelationIndex] = None,
 ) -> tuple[frozenset, ...]:
     """Partition ``items`` into similarity-chunked blocks of size ≥ k.
 
@@ -128,16 +181,21 @@ def greedy_k_partition(
     absorbs the < k leftovers, so every block has size in [k, 2k).  This is
     the workhorse partition for large target subsets, where enumerating set
     partitions is hopeless but one low-suppression partition suffices.
+
+    Pass ``index`` to run the vectorized kernel, or ``qi_rows`` (a tid →
+    projected-QI-tuple map) for the pure-Python reference; both produce the
+    identical partition.
     """
-    def hamming(a: int, b: int) -> int:
-        row_a, row_b = qi_rows[a], qi_rows[b]
-        return sum(1 for x, y in zip(row_a, row_b) if x != y)
+    if index is not None:
+        return index.greedy_k_partition(items, k)
+    if qi_rows is None:
+        raise ValueError("greedy_k_partition needs either qi_rows or index")
 
     remaining = list(items)
     blocks: list[frozenset] = []
     while len(remaining) >= 2 * k:
-        seed = remaining[0]
-        remaining.sort(key=lambda t: (hamming(seed, t), t))
+        seed_row = qi_rows[remaining[0]]
+        remaining.sort(key=lambda t: (qi_hamming_rows(seed_row, qi_rows[t]), t))
         blocks.append(frozenset(remaining[:k]))
         remaining = remaining[k:]
     blocks.append(frozenset(remaining))
@@ -181,12 +239,32 @@ def _partitions_min_block(
             return
 
 
+def _nearest_by_hamming(
+    seed: int,
+    candidates: list[int],
+    qi_rows: Optional[dict[int, tuple]],
+    index: Optional[RelationIndex],
+) -> list[int]:
+    """``candidates`` ordered by QI Hamming distance to ``seed``.
+
+    Ties keep ascending-tid order (``candidates`` arrive sorted), so the
+    vectorized lexsort and the stable pure-Python sort agree exactly.
+    """
+    if index is not None:
+        arr = np.fromiter(candidates, dtype=np.int64, count=len(candidates))
+        order = np.lexsort((arr, index.hamming_from(seed, candidates)))
+        return arr[order].tolist()
+    seed_row = qi_rows[seed]
+    return sorted(candidates, key=lambda t: qi_hamming_rows(seed_row, qi_rows[t]))
+
+
 def _similarity_seeded_subsets(
-    qi_rows: dict[int, tuple],
+    qi_rows: Optional[dict[int, tuple]],
     pool: list[int],
     size: int,
     rng: np.random.Generator,
     cap: int,
+    index: Optional[RelationIndex] = None,
 ) -> list[tuple[int, ...]]:
     """Sampled subsets of ``pool``: greedy nearest-neighbour seeds + random.
 
@@ -201,13 +279,9 @@ def _similarity_seeded_subsets(
         rng.choice(pool, size=cap, replace=False)
     )
 
-    def hamming(a: int, b: int) -> int:
-        row_a, row_b = qi_rows[a], qi_rows[b]
-        return sum(1 for x, y in zip(row_a, row_b) if x != y)
-
     for seed in seeds:
         candidates = [t for t in pool if t != seed]
-        candidates.sort(key=lambda t: hamming(seed, t))
+        candidates = _nearest_by_hamming(seed, candidates, qi_rows, index)
         chosen = [seed] + candidates[: size - 1]
         key = tuple(sorted(chosen))
         if len(key) == size and key not in seen:
@@ -265,13 +339,19 @@ def enumerate_clusterings(
     if hi < lo:
         return candidates
 
-    schema = relation.schema
-    qi_positions = [schema.position(a) for a in schema.qi_names]
-    qi_rows = {
-        tid: tuple(relation.row(tid)[p] for p in qi_positions) for tid in pool
-    }
+    index = get_index(relation) if vectorized_enabled() else None
+    if index is None:
+        schema = relation.schema
+        qi_positions = [schema.position(a) for a in schema.qi_names]
+        qi_rows: Optional[dict[int, tuple]] = {
+            tid: tuple(relation.row(tid)[p] for p in qi_positions) for tid in pool
+        }
+    else:
+        qi_rows = None
 
     def cost_of(clustering: tuple[frozenset, ...]) -> int:
+        if index is not None:
+            return index.clustering_cost(clustering)
         total = 0
         for cluster in clustering:
             rows = [qi_rows[tid] for tid in cluster]
@@ -291,14 +371,16 @@ def enumerate_clusterings(
             subsets = list(itertools.combinations(pool, size))
         else:
             per_size_cap = max(8, budget // max(1, hi + 1 - lo))
-            subsets = _similarity_seeded_subsets(qi_rows, pool, size, rng, per_size_cap)
+            subsets = _similarity_seeded_subsets(
+                qi_rows, pool, size, rng, per_size_cap, index=index
+            )
         for subset in subsets:
             if len(subset) <= SMALL_SUBSET_LIMIT:
                 partitions = _partitions_min_block(
                     subset, k, PARTITIONS_PER_SUBSET
                 )
             else:
-                partitions = [greedy_k_partition(subset, k, qi_rows)]
+                partitions = [greedy_k_partition(subset, k, qi_rows, index=index)]
             for partition in partitions:
                 clustering = normalize_clustering(partition)
                 scored.append((cost_of(clustering), size, clustering))
@@ -327,8 +409,6 @@ def _clustering_key(clustering: tuple[frozenset, ...]) -> tuple:
 
 def _n_combinations(n: int, r: int) -> int:
     """C(n, r) without overflow surprises (n, r are small here)."""
-    import math
-
     if r < 0 or r > n:
         return 0
     return math.comb(n, r)

@@ -22,6 +22,12 @@ with σ's target values), and the live assignment maintains per-cluster
 refcounts, a covered-tid map and per-constraint running counts, so a
 consistency check costs O(|candidate clusters| × cluster size) instead of
 re-suppressing the union.
+
+Cluster contributions and the dynamic-candidate similarity orderings run on
+the shared columnar :class:`~repro.core.index.RelationIndex` (mask and
+uniformity reductions over integer code matrices) unless the reference
+kernel backend is active, in which case the retained pure-Python paths are
+used — see :mod:`repro.core.index`.
 """
 
 from __future__ import annotations
@@ -33,10 +39,17 @@ from typing import Optional
 import numpy as np
 
 from ..data.relation import Relation
-from .clusterings import enumerate_clusterings, greedy_k_partition, preserved_count
+from .clusterings import (
+    enumerate_clusterings,
+    greedy_k_partition,
+    preserved_count,
+    preserved_count_reference,
+    qi_hamming_rows,
+)
 from .constraints import ConstraintSet
 from .errors import ReproError
 from .graph import ConstraintGraph, build_graph
+from .index import get_index, vectorized_enabled
 from .strategies import SelectionStrategy, make_strategy
 from .suppress import normalize_clustering
 
@@ -156,6 +169,20 @@ class ColoringSearch:
                 rng=self.rng,
                 target_tids=set(node.target_tids),
             )
+        # Backend captured at construction: the vectorized path shares the
+        # relation's columnar index (and its cluster-contribution memo);
+        # the reference path keeps projected QI row tuples.
+        self._index = get_index(relation) if vectorized_enabled() else None
+        if self._index is None:
+            schema = relation.schema
+            qi_positions = [schema.position(a) for a in schema.qi_names]
+            self._qi_rows: Optional[dict[int, tuple]] = {
+                tid: tuple(relation.row(tid)[p] for p in qi_positions)
+                for node in self.graph
+                for tid in node.target_tids
+            }
+        else:
+            self._qi_rows = None
         # Precompute each distinct cluster's contribution per constraint
         # (extended lazily for dynamically generated clusters).
         self._contrib: dict[frozenset, tuple[tuple[int, int], ...]] = {}
@@ -164,13 +191,6 @@ class ColoringSearch:
                 for cluster in clustering:
                     if cluster not in self._contrib:
                         self._contrib[cluster] = self._cluster_contributions(cluster)
-        schema = relation.schema
-        qi_positions = [schema.position(a) for a in schema.qi_names]
-        self._qi_rows = {
-            tid: tuple(relation.row(tid)[p] for p in qi_positions)
-            for node in self.graph
-            for tid in node.target_tids
-        }
         # Live assignment state.
         self._cluster_refs: dict[frozenset, int] = {}
         self._covered: dict[int, int] = {}
@@ -192,7 +212,12 @@ class ColoringSearch:
         for node in self.graph:
             if not any(a in qi for a in node.constraint.attrs):
                 continue
-            delta = preserved_count(self.relation, (cluster,), node.constraint)
+            if self._index is not None:
+                delta = self._index.preserved_count(cluster, node.constraint)
+            else:
+                delta = preserved_count_reference(
+                    self.relation, (cluster,), node.constraint
+                )
             if delta:
                 contribs.append((node.index, delta))
         return tuple(contribs)
@@ -248,9 +273,15 @@ class ColoringSearch:
             self._contrib[cluster] = cached
         return cached
 
-    def consistent_count(self, index: int, assignment=None) -> int:
+    def consistent_count(self, index: int) -> int:
         """How many of node ``index``'s candidates remain consistent with
-        the live assignment (used by the MinChoice strategy)."""
+        the live assignment (used by the MinChoice strategy).
+
+        Always evaluated against the incremental live-assignment state —
+        the former ``assignment`` parameter was silently ignored, so it was
+        dropped; the strategy callback contract is ``consistent_count(i)``
+        (see :mod:`repro.core.strategies`).
+        """
         return sum(1 for c in self._candidates[index] if self._consistent(c))
 
     def _apply(self, candidate: Clustering) -> None:
@@ -362,20 +393,17 @@ class ColoringSearch:
         seeds = pool[:: max(1, len(pool) // 3)][:3]
         seen: set[tuple] = set()
         for seed in seeds:
-            ordered = sorted(
-                pool,
-                key=lambda t: (
-                    sum(
-                        1
-                        for x, y in zip(self._qi_rows[seed], self._qi_rows[t])
-                        if x != y
-                    ),
-                    t,
-                ),
-            )
+            if self._index is not None:
+                ordered = self._index.rank_by_hamming(seed, pool)
+            else:
+                seed_row = self._qi_rows[seed]
+                ordered = sorted(
+                    pool,
+                    key=lambda t: (qi_hamming_rows(seed_row, self._qi_rows[t]), t),
+                )
             subset = tuple(ordered[:size])
             clustering = normalize_clustering(
-                greedy_k_partition(subset, self.k, self._qi_rows)
+                greedy_k_partition(subset, self.k, self._qi_rows, index=self._index)
             )
             key = tuple(tuple(sorted(c)) for c in clustering)
             if key not in seen:

@@ -1,0 +1,509 @@
+"""Columnar kernel layer: a shared NumPy relation index for the hot paths.
+
+The DIVA hot paths — ``preserved_count``, QI Hamming distances,
+suppression-cost scoring and candidate enumeration — are all per-tuple
+comparisons over :meth:`Relation.row` tuples.  They are exact but slow:
+the coloring search evaluates them thousands of times per problem, so the
+constant factor per check is what bounds how far the exact search scales
+(paper §5, Fig. 4a/5b/5d).
+
+:class:`RelationIndex` encodes a relation **once** into integer NumPy
+matrices (every column factorized to dense int32 codes, equality-preserving
+by construction) and derives per-constraint artifacts on demand:
+
+* ``target_mask`` / ``nonqi_mask`` — boolean row masks for σ's target
+  values, split into QI and non-QI components (suppression only touches QI
+  cells, so the two behave differently under ``preserved_count``);
+* per-attribute target **value codes** so constraint checks become integer
+  comparisons instead of Python ``==`` chains;
+* a memoized cluster → per-constraint-contribution cache keyed by the
+  canonical cluster identity (the ``frozenset`` of tids), shared by every
+  search over the same relation.
+
+On top of the code matrices the index exposes the vectorized kernels the
+rest of ``core`` builds on: uniformity reductions (``preserved_count``,
+``cluster_cost``), broadcasted Hamming kernels (``qi_hamming``,
+``hamming_from``, ``pairwise_qi_hamming``, ``rank_by_hamming``) and the
+similarity-chunked ``greedy_k_partition``.
+
+Backends
+--------
+The pure-Python implementations are retained as a *reference backend*; the
+module-level flag selects which one the public helpers in
+:mod:`repro.core.clusterings`, :mod:`repro.core.coloring` and
+:mod:`repro.core.graph` dispatch to:
+
+>>> from repro.core.index import use_kernel_backend
+>>> with use_kernel_backend("reference"):
+...     ...  # hot paths run the pure-Python code
+
+The default is ``vectorized``; set the ``REPRO_KERNEL_BACKEND`` environment
+variable to ``reference`` to flip a whole process (useful for A/B timing —
+see ``benchmarks/test_kernels.py``).  The two backends are exactly
+equivalent; ``tests/test_kernels_property.py`` asserts it property-by-
+property.
+
+Unlike :class:`repro.anonymize.encoding.QIEncoder` (the mixed
+categorical/numeric *metric* encoder this class generalizes), the index
+covers every column — constraints may target non-QI attributes — and
+accepts suppressed relations: ``STAR`` factorizes to its own code, which
+matches no concrete target value, exactly the counting semantics of
+Definition 2.3.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from itertools import chain
+from typing import Iterator
+
+import numpy as np
+
+from ..data.relation import Relation
+from .constraints import DiversityConstraint
+
+VECTORIZED = "vectorized"
+REFERENCE = "reference"
+_BACKENDS = (VECTORIZED, REFERENCE)
+
+_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+def _initial_backend() -> str:
+    raw = os.environ.get(_ENV_VAR)
+    if raw is None:
+        return VECTORIZED
+    name = raw.strip().lower()
+    if name in _BACKENDS:
+        return name
+    warnings.warn(
+        f"ignoring unknown {_ENV_VAR}={raw!r}; expected one of {_BACKENDS}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return VECTORIZED
+
+
+_backend = _initial_backend()
+_build_lock = threading.Lock()
+
+
+def kernel_backend() -> str:
+    """The active kernel backend: ``"vectorized"`` or ``"reference"``."""
+    return _backend
+
+
+def set_kernel_backend(name: str) -> str:
+    """Select the kernel backend; returns the previous one."""
+    global _backend
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {_BACKENDS}"
+        )
+    previous = _backend
+    _backend = name
+    return previous
+
+
+@contextmanager
+def use_kernel_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the kernel backend (for tests and benchmarks)."""
+    previous = set_kernel_backend(name)
+    try:
+        yield
+    finally:
+        set_kernel_backend(previous)
+
+
+def vectorized_enabled() -> bool:
+    """True iff the vectorized backend is active."""
+    return _backend == VECTORIZED
+
+
+def get_index(relation: Relation) -> "RelationIndex":
+    """The relation's :class:`RelationIndex`, built once and cached.
+
+    The index is stashed on the (immutable) relation itself, so every
+    consumer — graph build, candidate enumeration, each per-component
+    coloring search — shares the same code matrices and memo caches.
+    Construction is locked; concurrent readers afterwards are safe because
+    all mutation is idempotent memo insertion.
+    """
+    index = relation._kernel_index
+    if index is None:
+        with _build_lock:
+            index = relation._kernel_index
+            if index is None:
+                index = RelationIndex(relation)
+                relation._kernel_index = index
+    return index
+
+
+@dataclass(frozen=True)
+class ConstraintArtifacts:
+    """Precomputed per-constraint vectors over one relation.
+
+    ``qi_cols``/``qi_value_codes`` describe σ's QI components (column
+    positions in the full code matrix and the target value's code, ``-1``
+    when the value never occurs); ``nonqi_mask`` marks rows matching all
+    non-QI components; ``target_mask`` marks rows matching *all* components
+    (``Iσ`` as a boolean vector).
+    """
+
+    qi_cols: np.ndarray
+    qi_value_codes: np.ndarray
+    nonqi_mask: np.ndarray
+    target_mask: np.ndarray
+
+
+class RelationIndex:
+    """Integer-coded columnar view of a relation plus kernel memo caches.
+
+    ``codes`` holds one int32 column per schema attribute (row order =
+    relation storage order); ``qi_codes`` is the contiguous QI slice used
+    by the Hamming and cost kernels.  Codes are factorization ranks, so
+    ``codes[i, j] == codes[i2, j]`` iff the underlying values compare
+    equal — the only property the kernels rely on.
+    """
+
+    __slots__ = (
+        "relation",
+        "schema",
+        "tids",
+        "codes",
+        "codebooks",
+        "qi_positions",
+        "qi_codes",
+        "_tid_to_row",
+        "_dense_tids",
+        "_artifacts",
+        "_rows_cache",
+        "_pc_cache",
+        "_cost_cache",
+    )
+
+    def __init__(self, relation: Relation):
+        schema = relation.schema
+        self.relation = relation
+        self.schema = schema
+        n, m = len(relation), len(schema)
+        self.tids = np.fromiter(relation.tids, dtype=np.int64, count=n)
+        self._tid_to_row = {tid: i for i, tid in enumerate(relation.tids)}
+        # Generated relations number tuples 0..n-1, making tid → row the
+        # identity; rows_of can then skip the dict round-trip entirely.
+        self._dense_tids = bool(n == 0 or (self.tids == np.arange(n)).all())
+        codes = np.empty((n, m), dtype=np.int32)
+        self.codebooks: list[dict] = []
+        for j, column in enumerate(relation.columns()):
+            book: dict = {}
+            target = codes[:, j]
+            for i, value in enumerate(column):
+                code = book.get(value)
+                if code is None:
+                    code = len(book)
+                    book[value] = code
+                target[i] = code
+            self.codebooks.append(book)
+        self.codes = codes
+        self.qi_positions = np.fromiter(
+            (schema.position(a) for a in schema.qi_names),
+            dtype=np.intp,
+            count=len(schema.qi_names),
+        )
+        if self.qi_positions.size:
+            self.qi_codes = np.ascontiguousarray(codes[:, self.qi_positions])
+        else:
+            self.qi_codes = np.empty((n, 0), dtype=np.int32)
+        self._artifacts: dict[DiversityConstraint, ConstraintArtifacts] = {}
+        self._rows_cache: dict[frozenset, np.ndarray] = {}
+        self._pc_cache: dict[tuple[frozenset, DiversityConstraint], int] = {}
+        self._cost_cache: dict[frozenset, int] = {}
+
+    def __len__(self) -> int:
+        return self.codes.shape[0]
+
+    # -- row addressing ------------------------------------------------------
+
+    def row_of(self, tid: int) -> int:
+        """Matrix row index of tuple ``tid``."""
+        return self._tid_to_row[tid]
+
+    def rows_of(self, tids: Iterable[int]) -> np.ndarray:
+        """Matrix row indices of ``tids`` (cached for frozenset clusters)."""
+        if isinstance(tids, frozenset):
+            cached = self._rows_cache.get(tids)
+            if cached is None:
+                if self._dense_tids:
+                    cached = np.fromiter(tids, dtype=np.intp, count=len(tids))
+                else:
+                    cached = np.fromiter(
+                        (self._tid_to_row[t] for t in tids),
+                        dtype=np.intp,
+                        count=len(tids),
+                    )
+                self._rows_cache[tids] = cached
+            return cached
+        seq = tids if isinstance(tids, Sequence) else tuple(tids)
+        if self._dense_tids:
+            return np.fromiter(seq, dtype=np.intp, count=len(seq))
+        return np.fromiter(
+            (self._tid_to_row[t] for t in seq), dtype=np.intp, count=len(seq)
+        )
+
+    def _concat_rows(self, clusters: Sequence[frozenset], total: int) -> np.ndarray:
+        """Row indices of all ``clusters`` back to back, in one pass.
+
+        One ``fromiter`` over the flattened tids beats per-cluster arrays +
+        ``np.concatenate`` by a wide margin at DIVA cluster sizes.
+        """
+        flat = chain.from_iterable(clusters)
+        if self._dense_tids:
+            return np.fromiter(flat, dtype=np.intp, count=total)
+        t2r = self._tid_to_row
+        return np.fromiter((t2r[t] for t in flat), dtype=np.intp, count=total)
+
+    # -- per-constraint artifacts --------------------------------------------
+
+    def artifacts(self, sigma: DiversityConstraint) -> ConstraintArtifacts:
+        """Masks and value codes for σ, built once per constraint."""
+        art = self._artifacts.get(sigma)
+        if art is not None:
+            return art
+        n = len(self)
+        qi_names = set(self.schema.qi_names)
+        qi_cols: list[int] = []
+        qi_value_codes: list[int] = []
+        nonqi_mask = np.ones(n, dtype=bool)
+        target_mask = np.ones(n, dtype=bool)
+        for attr, value in zip(sigma.attrs, sigma.values):
+            pos = self.schema.position(attr)
+            code = self.codebooks[pos].get(value, -1)
+            column_match = self.codes[:, pos] == code
+            target_mask &= column_match
+            if attr in qi_names:
+                qi_cols.append(pos)
+                qi_value_codes.append(code)
+            else:
+                nonqi_mask &= column_match
+        art = ConstraintArtifacts(
+            qi_cols=np.asarray(qi_cols, dtype=np.intp),
+            qi_value_codes=np.asarray(qi_value_codes, dtype=np.int32),
+            nonqi_mask=nonqi_mask,
+            target_mask=target_mask,
+        )
+        self._artifacts[sigma] = art
+        return art
+
+    def target_tids(self, sigma: DiversityConstraint) -> frozenset:
+        """``Iσ`` as a frozenset of tids (mask reduction, not a row scan)."""
+        return frozenset(self.tids[self.artifacts(sigma).target_mask].tolist())
+
+    # -- preserved-count kernel ----------------------------------------------
+
+    def preserved_count(self, cluster: frozenset, sigma: DiversityConstraint) -> int:
+        """Occurrences of σ's target values surviving suppression of ``cluster``.
+
+        Memoized per canonical cluster identity: the coloring search asks
+        for the same cluster's contribution against every constraint, on
+        every consistency check, across every search sharing this index.
+        The memo is nested σ → {cluster: count} so batched calls hash σ
+        once, not once per cluster.
+        """
+        sub = self._pc_cache.get(sigma)
+        if sub is None:
+            sub = self._pc_cache[sigma] = {}
+        cached = sub.get(cluster)
+        if cached is None:
+            cached = self._preserved_count_uncached(cluster, sigma)
+            sub[cluster] = cached
+        return cached
+
+    def _preserved_count_uncached(
+        self, cluster: frozenset, sigma: DiversityConstraint
+    ) -> int:
+        rows = self.rows_of(cluster)
+        if rows.size == 0:
+            return 0
+        art = self.artifacts(sigma)
+        if art.qi_cols.size:
+            # Uniform-and-matching on every QI component ⟺ every cell in the
+            # cluster × QI-component block equals the target value's code.
+            block = self.codes[np.ix_(rows, art.qi_cols)]
+            if not (block == art.qi_value_codes).all():
+                return 0
+        return int(np.count_nonzero(art.nonqi_mask[rows]))
+
+    def preserved_count_many(
+        self, clusters: Sequence[frozenset], sigma: DiversityConstraint
+    ) -> int:
+        """Sum of per-cluster preserved counts over a whole clustering.
+
+        Memo hits are summed directly; all misses are evaluated in **one**
+        segment reduction (``np.add.reduceat`` over the concatenated row
+        indices) instead of one NumPy call per cluster — at DIVA's typical
+        cluster size (≈ k tuples) per-call overhead would otherwise eat
+        the vectorization win.
+
+        Unlike :meth:`preserved_count` (the search's repeat-heavy path),
+        this bulk evaluator does **not** write results back to the memo:
+        it is called once per candidate/final clustering, and writing
+        every one-off clustering in would grow the memo without bound.
+        It still reads through a memo the search has populated.
+        """
+        total = 0
+        sub = self._pc_cache.get(sigma)
+        if sub:
+            missing: list = []
+            for cluster in clusters:
+                if not isinstance(cluster, frozenset):
+                    cluster = frozenset(cluster)
+                cached = sub.get(cluster)
+                if cached is None:
+                    if cluster:
+                        missing.append(cluster)
+                else:
+                    total += cached
+        else:
+            missing = [c for c in clusters if len(c)]
+        if not missing:
+            return total
+        art = self.artifacts(sigma)
+        lengths = np.fromiter(
+            (len(c) for c in missing), dtype=np.intp, count=len(missing)
+        )
+        concat = self._concat_rows(missing, int(lengths.sum()))
+        offsets = np.zeros(len(missing), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        nonqi = np.add.reduceat(art.nonqi_mask[concat], offsets, dtype=np.int64)
+        if art.qi_cols.size:
+            # Per-column 1-D gathers: markedly cheaper than one np.ix_
+            # 2-D fancy gather for the handful of columns σ touches.
+            cols, vals = art.qi_cols, art.qi_value_codes
+            row_ok = self.codes[concat, cols[0]] == vals[0]
+            for j in range(1, cols.size):
+                row_ok &= self.codes[concat, cols[j]] == vals[j]
+            qi_ok = np.add.reduceat(row_ok, offsets, dtype=np.int64) == lengths
+            counts = np.where(qi_ok, nonqi, 0)
+        else:
+            counts = nonqi
+        return total + int(counts.sum())
+
+    # -- Hamming kernels -----------------------------------------------------
+
+    def qi_hamming(self, tid_a: int, tid_b: int) -> int:
+        """QI Hamming distance between two tuples."""
+        a = self.qi_codes[self._tid_to_row[tid_a]]
+        b = self.qi_codes[self._tid_to_row[tid_b]]
+        return int(np.count_nonzero(a != b))
+
+    def hamming_from(self, seed_tid: int, tids: Sequence[int]) -> np.ndarray:
+        """QI Hamming distance from ``seed_tid`` to each of ``tids``."""
+        ref = self.qi_codes[self._tid_to_row[seed_tid]]
+        return (self.qi_codes[self.rows_of(tids)] != ref).sum(axis=1)
+
+    def rank_by_hamming(self, seed_tid: int, tids: Sequence[int]) -> list[int]:
+        """``tids`` sorted by (QI Hamming distance to seed, tid)."""
+        arr = np.fromiter(tids, dtype=np.int64, count=len(tids))
+        order = np.lexsort((arr, self.hamming_from(seed_tid, tids)))
+        return arr[order].tolist()
+
+    def pairwise_qi_hamming(self, tids: Sequence[int] | None = None) -> np.ndarray:
+        """Full pairwise QI Hamming matrix over ``tids`` (default: all rows)."""
+        block = (
+            self.qi_codes if tids is None else self.qi_codes[self.rows_of(tids)]
+        )
+        return (block[:, None, :] != block[None, :, :]).sum(axis=2)
+
+    # -- suppression-cost kernel ---------------------------------------------
+
+    def cluster_cost(self, cluster: frozenset) -> int:
+        """Cells starred when ``cluster`` is suppressed into one QI-group.
+
+        Cost = (#QI columns with >1 distinct value) × |cluster|; memoized
+        per canonical cluster identity.
+        """
+        cached = self._cost_cache.get(cluster)
+        if cached is None:
+            rows = self.rows_of(cluster)
+            if rows.size == 0:
+                cached = 0
+            else:
+                block = self.qi_codes[rows]
+                varying = int((block != block[0]).any(axis=0).sum())
+                cached = varying * rows.size
+            self._cost_cache[cluster] = cached
+        return cached
+
+    def clustering_cost(self, clusters: Sequence[frozenset]) -> int:
+        """Total suppression cost of a clustering (sum over clusters).
+
+        Like :meth:`preserved_count_many`, memo misses are scored in one
+        batched segment reduction: per-cluster uniformity per QI column is
+        each row compared against its segment's first row, summed with
+        ``reduceat``.
+        """
+        total = 0
+        missing: list[frozenset] = []
+        for cluster in clusters:
+            if not isinstance(cluster, frozenset):
+                cluster = frozenset(cluster)
+            cached = self._cost_cache.get(cluster)
+            if cached is None:
+                if cluster:
+                    missing.append(cluster)
+                else:
+                    self._cost_cache[cluster] = 0
+            else:
+                total += cached
+        if not missing:
+            return total
+        lengths = np.fromiter(
+            (len(c) for c in missing), dtype=np.intp, count=len(missing)
+        )
+        concat = self._concat_rows(missing, int(lengths.sum()))
+        offsets = np.zeros(len(missing), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        block = self.qi_codes[concat]
+        seg_first = np.repeat(self.qi_codes[concat[offsets]], lengths, axis=0)
+        equal = block == seg_first
+        uniform = (
+            np.add.reduceat(equal, offsets, axis=0, dtype=np.int64)
+            == lengths[:, None]
+        )
+        varying = self.qi_codes.shape[1] - uniform.sum(axis=1)
+        for cluster, cost in zip(missing, (varying * lengths).tolist()):
+            self._cost_cache[cluster] = cost
+            total += cost
+        return total
+
+    # -- partition kernel ----------------------------------------------------
+
+    def greedy_k_partition(
+        self, items: Sequence[int], k: int
+    ) -> tuple[frozenset, ...]:
+        """Similarity-chunked partition of ``items`` into blocks of size ≥ k.
+
+        Exactly the reference algorithm of
+        :func:`repro.core.clusterings.greedy_k_partition` — repeatedly seed
+        a block with the first remaining tuple, sort the remainder by
+        (distance to seed, tid), take the k nearest, and let the final
+        block absorb the < k leftovers — with the per-round sort key
+        computed as one broadcasted Hamming reduction.
+        """
+        remaining = np.fromiter(items, dtype=np.int64, count=len(items))
+        rows = self.rows_of(items)
+        blocks: list[frozenset] = []
+        while remaining.size >= 2 * k:
+            seed_codes = self.qi_codes[rows[0]]
+            dist = (self.qi_codes[rows] != seed_codes).sum(axis=1)
+            order = np.lexsort((remaining, dist))
+            remaining, rows = remaining[order], rows[order]
+            blocks.append(frozenset(remaining[:k].tolist()))
+            remaining, rows = remaining[k:], rows[k:]
+        blocks.append(frozenset(remaining.tolist()))
+        return tuple(blocks)

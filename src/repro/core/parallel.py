@@ -33,12 +33,12 @@ from .suppress import normalize_clustering
 
 def _solve_component(
     subset: ConstraintSet,
+    seed_seq: np.random.SeedSequence,
     relation: Relation,
     k: int,
     strategy,
     max_candidates: int,
     max_steps: Optional[int],
-    seed: int,
 ) -> ColoringResult:
     """Module-level worker so process pools can pickle the call."""
     search = ColoringSearch(
@@ -48,7 +48,7 @@ def _solve_component(
         strategy=strategy,
         max_candidates=max_candidates,
         max_steps=max_steps,
-        rng=np.random.default_rng(seed),
+        rng=np.random.default_rng(seed_seq),
     )
     return search.run()
 
@@ -71,6 +71,11 @@ def component_coloring(
     spawn) or ``executor="process"`` (true parallelism; requires a
     picklable strategy, i.e. a name rather than an instance).  The merged
     result reports combined search statistics.
+
+    Each component gets its own RNG stream, derived by spawning
+    ``np.random.SeedSequence(seed)`` — one child per component — so
+    per-component randomness is independent (and identical whether the
+    components run sequentially, on threads, or in processes).
     """
     if executor not in ("thread", "process"):
         raise ValueError("executor must be 'thread' or 'process'")
@@ -80,6 +85,7 @@ def component_coloring(
         ConstraintSet(graph.node(i).constraint for i in component)
         for component in components
     ]
+    seed_seqs = np.random.SeedSequence(seed).spawn(max(1, len(subsets)))
     solve = partial(
         _solve_component,
         relation=relation,
@@ -87,21 +93,20 @@ def component_coloring(
         strategy=strategy,
         max_candidates=max_candidates,
         max_steps=max_steps,
-        seed=seed,
     )
 
     if max_workers is None or max_workers <= 1 or len(components) <= 1:
-        results = [solve(s) for s in subsets]
+        results = [solve(s, ss) for s, ss in zip(subsets, seed_seqs)]
     elif executor == "process":
         if not isinstance(strategy, str):
             raise ValueError(
                 "process executor needs a strategy name, not an instance"
             )
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(solve, subsets))
+            results = list(pool.map(solve, subsets, seed_seqs))
     else:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(solve, subsets))
+            results = list(pool.map(solve, subsets, seed_seqs))
 
     merged_stats = SearchStats()
     merged_assignment: dict[int, tuple] = {}

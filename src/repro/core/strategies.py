@@ -52,7 +52,11 @@ class SelectionStrategy(abc.ABC):
         ``uncolored`` is sorted node indices; ``graph`` is the
         :class:`~repro.core.graph.ConstraintGraph`; ``colored`` the indices
         already assigned; ``consistent_count(i)`` lazily counts node ``i``'s
-        candidate clusterings still consistent with the current assignment.
+        candidate clusterings still consistent with the search's *live*
+        assignment state.  That single-argument signature is the whole
+        callback contract: the search maintains the assignment
+        incrementally, so strategies never pass (and cannot pass) an
+        explicit assignment of their own.
         """
 
     def order_clusterings(self, candidates: Sequence[Clustering]) -> list[Clustering]:

@@ -212,7 +212,14 @@ class Relation:
     adequate (and keep the algorithms legible).
     """
 
-    __slots__ = ("_schema", "_rows", "_tids", "_tid_index")
+    __slots__ = (
+        "_schema",
+        "_rows",
+        "_tids",
+        "_tid_index",
+        "_columns",
+        "_kernel_index",
+    )
 
     def __init__(
         self,
@@ -222,6 +229,8 @@ class Relation:
     ):
         self._schema = schema
         self._rows = [tuple(row) for row in rows]
+        self._columns: Optional[tuple[tuple, ...]] = None
+        self._kernel_index: Optional[Any] = None
         width = len(schema)
         for row in self._rows:
             if len(row) != width:
@@ -298,6 +307,39 @@ class Relation:
     def record(self, tid: int) -> dict[str, Any]:
         """Tuple ``tid`` as an attribute-name-keyed dict."""
         return dict(zip(self._schema.names, self.row(tid)))
+
+    def columns(self) -> tuple[tuple, ...]:
+        """Per-attribute value tuples in schema order (storage row order).
+
+        The transpose of the row store, computed once and cached — the
+        columnar consumers (``repro.core.index.RelationIndex``, the QI
+        encoder) factorize whole columns, and re-transposing per consumer
+        was a measurable share of index build time.
+        """
+        if self._columns is None:
+            if self._rows:
+                self._columns = tuple(zip(*self._rows))
+            else:
+                self._columns = tuple(() for _ in self._schema)
+        return self._columns
+
+    def column(self, attr: str) -> tuple:
+        """All values of attribute ``attr`` in storage row order (cached)."""
+        return self.columns()[self._schema.position(attr)]
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        # Exclude the derived caches (column views, kernel index): they are
+        # cheap to rebuild and the kernel index holds large numpy arrays
+        # that would bloat process-pool transfers.
+        return (self._schema, self._rows, self._tids)
+
+    def __setstate__(self, state) -> None:
+        self._schema, self._rows, self._tids = state
+        self._tid_index = {tid: i for i, tid in enumerate(self._tids)}
+        self._columns = None
+        self._kernel_index = None
 
     # -- relational operations -----------------------------------------------
 

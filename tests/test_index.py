@@ -1,0 +1,175 @@
+"""Unit tests for the columnar kernel layer (``repro.core.index``)."""
+
+import pytest
+
+from repro.core.clusterings import preserved_count
+from repro.core.constraints import DiversityConstraint
+from repro.core.index import (
+    RelationIndex,
+    get_index,
+    kernel_backend,
+    set_kernel_backend,
+    use_kernel_backend,
+)
+from repro.data.relation import Relation, Schema
+
+SCHEMA = Schema.from_names(qi=["GEN", "ETH"], sensitive=["DIS"])
+
+ROWS = [
+    ("Male", "Asian", "flu"),
+    ("Male", "Asian", "cold"),
+    ("Female", "Asian", "flu"),
+    ("Female", "African", "flu"),
+    ("Male", "African", "cold"),
+    ("Female", "European", "flu"),
+]
+
+
+@pytest.fixture
+def relation():
+    return Relation(SCHEMA, ROWS)
+
+
+class TestBackendFlag:
+    def test_default_follows_environment(self, monkeypatch):
+        from repro.core import index as index_mod
+
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        assert index_mod._initial_backend() == "vectorized"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        assert index_mod._initial_backend() == "reference"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "turbo")
+        with pytest.warns(RuntimeWarning, match="unknown REPRO_KERNEL_BACKEND"):
+            assert index_mod._initial_backend() == "vectorized"
+
+    def test_context_manager_restores(self):
+        before = kernel_backend()
+        with use_kernel_backend("reference"):
+            assert kernel_backend() == "reference"
+        assert kernel_backend() == before
+
+    def test_restores_on_error(self):
+        before = kernel_backend()
+        with pytest.raises(RuntimeError):
+            with use_kernel_backend("reference"):
+                raise RuntimeError("boom")
+        assert kernel_backend() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_kernel_backend("turbo")
+
+
+class TestIndexConstruction:
+    def test_cached_on_relation(self, relation):
+        assert get_index(relation) is get_index(relation)
+
+    def test_codes_preserve_equality(self, relation):
+        index = get_index(relation)
+        pos = SCHEMA.position("ETH")
+        codes = index.codes[:, pos]
+        column = relation.column("ETH")
+        for i, a in enumerate(column):
+            for j, b in enumerate(column):
+                assert (codes[i] == codes[j]) == (a == b)
+
+    def test_qi_codes_shape(self, relation):
+        index = get_index(relation)
+        assert index.qi_codes.shape == (len(ROWS), 2)
+
+    def test_empty_relation(self):
+        index = get_index(Relation(SCHEMA, []))
+        assert len(index) == 0
+        sigma = DiversityConstraint("ETH", "Asian", 0, 3)
+        assert index.target_tids(sigma) == frozenset()
+
+    def test_pickle_drops_index_cache(self, relation):
+        import pickle
+
+        get_index(relation)
+        clone = pickle.loads(pickle.dumps(relation))
+        assert clone == relation
+        assert clone._kernel_index is None
+
+
+class TestArtifacts:
+    def test_target_tids_match_constraint(self, relation):
+        index = get_index(relation)
+        for sigma in (
+            DiversityConstraint("ETH", "Asian", 1, 3),
+            DiversityConstraint("DIS", "flu", 1, 4),
+            DiversityConstraint(("GEN", "DIS"), ("Female", "flu"), 0, 2),
+        ):
+            assert index.target_tids(sigma) == frozenset(
+                sigma.target_tids(relation)
+            )
+
+    def test_unknown_value_matches_nothing(self, relation):
+        index = get_index(relation)
+        sigma = DiversityConstraint("ETH", "Martian", 0, 3)
+        assert index.target_tids(sigma) == frozenset()
+        assert index.preserved_count(frozenset(relation.tids), sigma) == 0
+
+
+class TestKernels:
+    def test_preserved_count_uniform_cluster(self, relation):
+        index = get_index(relation)
+        sigma = DiversityConstraint("ETH", "Asian", 1, 3)
+        # {0, 1} is uniform on ETH=Asian: both occurrences survive.
+        assert index.preserved_count(frozenset({0, 1}), sigma) == 2
+        # {0, 3} mixes Asian/African: ETH gets starred, nothing survives.
+        assert index.preserved_count(frozenset({0, 3}), sigma) == 0
+
+    def test_preserved_count_memoized(self, relation):
+        index = get_index(relation)
+        sigma = DiversityConstraint("ETH", "Asian", 1, 3)
+        cluster = frozenset({0, 1})
+        assert index.preserved_count(cluster, sigma) == 2
+        assert cluster in index._pc_cache[sigma]
+
+    def test_cluster_cost(self, relation):
+        index = get_index(relation)
+        # {0, 1}: GEN and ETH both uniform — no stars.
+        assert index.cluster_cost(frozenset({0, 1})) == 0
+        # {0, 2}: GEN varies, ETH uniform — 1 attribute × 2 tuples.
+        assert index.cluster_cost(frozenset({0, 2})) == 2
+
+    def test_preserved_count_many_matches_singles(self, relation):
+        index = get_index(relation)
+        sigma = DiversityConstraint("ETH", "Asian", 1, 3)
+        clustering = (frozenset({0, 1}), frozenset({2, 5}), frozenset({3, 4}))
+        expected = sum(index.preserved_count(c, sigma) for c in clustering)
+        # Fresh index: the batched path with no memo to read through.
+        assert RelationIndex(relation).preserved_count_many(
+            clustering, sigma
+        ) == expected
+        # Same index: the read-through path over a populated memo.
+        assert index.preserved_count_many(clustering, sigma) == expected
+
+    def test_preserved_count_many_edge_inputs(self, relation):
+        index = RelationIndex(relation)
+        sigma = DiversityConstraint("ETH", "Asian", 1, 3)
+        # Empty clusters contribute nothing; non-frozenset clusters are fine.
+        assert index.preserved_count_many((frozenset(), [0, 1]), sigma) == 2
+        assert index.preserved_count_many((), sigma) == 0
+
+    def test_clustering_cost_matches_singles(self, relation):
+        index = get_index(relation)
+        clustering = (frozenset({0, 1}), frozenset({0, 2}), frozenset())
+        expected = sum(index.cluster_cost(c) for c in clustering)
+        assert RelationIndex(relation).clustering_cost(clustering) == expected
+        assert index.clustering_cost(clustering) == expected
+
+    def test_dispatcher_uses_backend(self, relation):
+        sigma = DiversityConstraint("ETH", "Asian", 1, 3)
+        clustering = (frozenset({0, 1}),)
+        with use_kernel_backend("reference"):
+            ref = preserved_count(relation, clustering, sigma)
+        assert preserved_count(relation, clustering, sigma) == ref == 2
+
+    def test_direct_construction(self, relation):
+        # RelationIndex is usable standalone, without the get_index cache.
+        index = RelationIndex(relation)
+        assert len(index) == len(ROWS)
+        assert index.qi_hamming(0, 1) == 0
+        assert index.qi_hamming(0, 3) == 2

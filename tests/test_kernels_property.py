@@ -1,0 +1,273 @@
+"""Property tests: the vectorized kernels equal the pure-Python reference.
+
+The columnar kernel layer (``repro.core.index``) re-implements every hot
+path — preserved counts, QI Hamming distances, suppression-cost scoring,
+similarity orderings, greedy partitioning — as NumPy reductions.  These
+tests pin the contract that makes that safe: on *any* relation, cluster
+set and constraint, the two backends agree exactly, including full
+end-to-end candidate enumeration and coloring runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clusterings import (
+    _nearest_by_hamming,
+    cluster_suppression_cost_reference,
+    clustering_suppression_cost,
+    enumerate_clusterings,
+    greedy_k_partition,
+    preserved_count,
+    preserved_count_reference,
+    qi_distance_reference,
+)
+from repro.core.coloring import SearchBudgetExceeded, diverse_clustering
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.graph import build_graph
+from repro.core.index import get_index, use_kernel_backend
+from repro.core.suppress import suppress
+from repro.data.relation import Relation, Schema
+
+import numpy as np
+
+SCHEMA = Schema.from_names(qi=["A", "B", "C"], sensitive=["S"])
+
+values_a = st.sampled_from(["a0", "a1", "a2"])
+values_b = st.sampled_from(["b0", "b1"])
+values_c = st.sampled_from(["c0", "c1", "c2", "c3"])
+values_s = st.sampled_from(["s0", "s1", "s2"])
+
+rows = st.tuples(values_a, values_b, values_c, values_s)
+
+
+@st.composite
+def relations(draw, min_rows=1, max_rows=24):
+    data = draw(st.lists(rows, min_size=min_rows, max_size=max_rows))
+    return Relation(SCHEMA, data)
+
+
+@st.composite
+def relations_with_clustering(draw, k=2):
+    relation = draw(relations(min_rows=2 * k, max_rows=20))
+    tids = list(relation.tids)
+    n_clusters = draw(st.integers(0, len(tids) // k))
+    index = draw(st.permutations(tids))
+    clusters, cursor = [], 0
+    for _ in range(n_clusters):
+        size = draw(st.integers(k, max(k, min(len(tids) - cursor, 2 * k))))
+        if cursor + size > len(tids):
+            break
+        clusters.append(frozenset(index[cursor:cursor + size]))
+        cursor += size
+    return relation, tuple(clusters)
+
+
+@st.composite
+def constraints(draw):
+    attr = draw(st.sampled_from(["A", "B", "C", "S"]))
+    domain = {"A": values_a, "B": values_b, "C": values_c, "S": values_s}[attr]
+    value = draw(domain)
+    lower = draw(st.integers(0, 4))
+    upper = draw(st.integers(lower, 12))
+    return DiversityConstraint(attr, value, lower, upper)
+
+
+def _qi_rows_of(relation):
+    schema = relation.schema
+    positions = [schema.position(a) for a in schema.qi_names]
+    return {
+        tid: tuple(relation.row(tid)[p] for p in positions)
+        for tid, _ in relation
+    }
+
+
+class TestPreservedCountEquivalence:
+    @given(relations_with_clustering(), constraints())
+    @settings(max_examples=80, deadline=None)
+    def test_kernel_matches_reference(self, rc, sigma):
+        relation, clustering = rc
+        index = get_index(relation)
+        vectorized = sum(index.preserved_count(c, sigma) for c in clustering)
+        assert vectorized == preserved_count_reference(relation, clustering, sigma)
+
+    @given(relations_with_clustering(), constraints())
+    @settings(max_examples=40, deadline=None)
+    def test_dispatcher_agrees_across_backends(self, rc, sigma):
+        relation, clustering = rc
+        with use_kernel_backend("vectorized"):
+            vec = preserved_count(relation, clustering, sigma)
+        with use_kernel_backend("reference"):
+            ref = preserved_count(relation, clustering, sigma)
+        assert vec == ref
+
+    @given(relations_with_clustering(), constraints())
+    @settings(max_examples=40, deadline=None)
+    def test_star_cells_handled_like_reference(self, rc, sigma):
+        """The index factorizes STAR to its own code — suppressed relations
+        count identically under both backends."""
+        relation, clustering = rc
+        suppressed = suppress(relation, clustering)
+        full = (frozenset(suppressed.tids),) if len(suppressed) else ()
+        index = get_index(suppressed)
+        vectorized = sum(index.preserved_count(c, sigma) for c in full)
+        assert vectorized == preserved_count_reference(suppressed, full, sigma)
+
+
+class TestHammingEquivalence:
+    @given(relations(min_rows=2, max_rows=12))
+    @settings(max_examples=60, deadline=None)
+    def test_qi_hamming_all_pairs(self, relation):
+        index = get_index(relation)
+        tids = list(relation.tids)
+        for a in tids:
+            for b in tids:
+                assert index.qi_hamming(a, b) == qi_distance_reference(
+                    relation, a, b
+                )
+
+    @given(relations(min_rows=2, max_rows=12))
+    @settings(max_examples=60, deadline=None)
+    def test_pairwise_matrix(self, relation):
+        index = get_index(relation)
+        tids = list(relation.tids)
+        matrix = index.pairwise_qi_hamming(tids)
+        for i, a in enumerate(tids):
+            for j, b in enumerate(tids):
+                assert matrix[i, j] == qi_distance_reference(relation, a, b)
+
+    @given(relations(min_rows=2, max_rows=16))
+    @settings(max_examples=60, deadline=None)
+    def test_hamming_from_and_ranking(self, relation):
+        index = get_index(relation)
+        tids = sorted(relation.tids)
+        seed = tids[0]
+        dists = index.hamming_from(seed, tids)
+        assert [int(d) for d in dists] == [
+            qi_distance_reference(relation, seed, t) for t in tids
+        ]
+        expected = sorted(
+            tids, key=lambda t: (qi_distance_reference(relation, seed, t), t)
+        )
+        assert index.rank_by_hamming(seed, tids) == expected
+
+    @given(relations(min_rows=3, max_rows=16))
+    @settings(max_examples=60, deadline=None)
+    def test_nearest_by_hamming_matches_reference(self, relation):
+        index = get_index(relation)
+        qi_rows = _qi_rows_of(relation)
+        tids = sorted(relation.tids)
+        seed, candidates = tids[0], tids[1:]
+        vec = _nearest_by_hamming(seed, candidates, None, index)
+        ref = _nearest_by_hamming(seed, candidates, qi_rows, None)
+        assert vec == ref
+
+
+class TestSuppressionCostEquivalence:
+    @given(relations_with_clustering())
+    @settings(max_examples=80, deadline=None)
+    def test_cluster_cost(self, rc):
+        relation, clustering = rc
+        index = get_index(relation)
+        for cluster in clustering:
+            assert index.cluster_cost(cluster) == cluster_suppression_cost_reference(
+                relation, cluster
+            )
+
+    @given(relations_with_clustering())
+    @settings(max_examples=40, deadline=None)
+    def test_clustering_cost_across_backends(self, rc):
+        relation, clustering = rc
+        with use_kernel_backend("vectorized"):
+            vec = clustering_suppression_cost(relation, clustering)
+        with use_kernel_backend("reference"):
+            ref = clustering_suppression_cost(relation, clustering)
+        assert vec == ref
+
+
+class TestPartitionEquivalence:
+    @given(relations(min_rows=4, max_rows=20), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_k_partition(self, relation, k):
+        index = get_index(relation)
+        qi_rows = _qi_rows_of(relation)
+        items = tuple(sorted(relation.tids))
+        vec = greedy_k_partition(items, k, index=index)
+        ref = greedy_k_partition(items, k, qi_rows=qi_rows)
+        assert vec == ref
+        assert all(len(block) >= min(k, len(items)) for block in vec)
+
+
+class TestEndToEndEquivalence:
+    @given(relations(min_rows=4, max_rows=16), constraints(), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_enumerate_clusterings(self, relation, sigma, k):
+        with use_kernel_backend("vectorized"):
+            vec = enumerate_clusterings(
+                relation, sigma, k, max_candidates=8, rng=np.random.default_rng(7)
+            )
+        with use_kernel_backend("reference"):
+            ref = enumerate_clusterings(
+                relation, sigma, k, max_candidates=8, rng=np.random.default_rng(7)
+            )
+        assert vec == ref
+
+    @staticmethod
+    def _run_search(relation, sigma_set, backend):
+        with use_kernel_backend(backend):
+            try:
+                return diverse_clustering(
+                    relation,
+                    sigma_set,
+                    k=2,
+                    max_steps=3_000,
+                    rng=np.random.default_rng(3),
+                )
+            except SearchBudgetExceeded as exc:
+                return exc
+
+    @given(
+        relations(min_rows=6, max_rows=14),
+        st.lists(constraints(), min_size=1, max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_diverse_clustering(self, relation, sigma_list):
+        unique = []
+        for sigma in sigma_list:
+            if sigma not in unique:
+                unique.append(sigma)
+        sigma_set = ConstraintSet(unique)
+        vec = self._run_search(relation, sigma_set, "vectorized")
+        ref = self._run_search(relation, sigma_set, "reference")
+        if isinstance(vec, SearchBudgetExceeded) or isinstance(
+            ref, SearchBudgetExceeded
+        ):
+            # Hard instances may exhaust the step budget — but then both
+            # backends must exhaust it at exactly the same point.
+            assert type(vec) is type(ref)
+            assert (
+                vec.partial["stats"].as_dict() == ref.partial["stats"].as_dict()
+            )
+        else:
+            assert vec.success == ref.success
+            assert vec.clustering == ref.clustering
+            assert vec.stats.as_dict() == ref.stats.as_dict()
+
+    @given(
+        relations(min_rows=2, max_rows=16),
+        st.lists(constraints(), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_graph_build(self, relation, sigma_list):
+        unique = []
+        for sigma in sigma_list:
+            if sigma not in unique:
+                unique.append(sigma)
+        sigma_set = ConstraintSet(unique)
+        with use_kernel_backend("vectorized"):
+            vec = build_graph(relation, sigma_set)
+        with use_kernel_backend("reference"):
+            ref = build_graph(relation, sigma_set)
+        assert [n.target_tids for n in vec] == [n.target_tids for n in ref]
+        assert vec.edges == ref.edges
+        for i, j in vec.edges:
+            assert vec.overlap(i, j) == ref.overlap(i, j)
