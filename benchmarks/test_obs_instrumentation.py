@@ -1,0 +1,68 @@
+"""Observability benchmark: DIVA pipeline profile via ``repro.obs``.
+
+Runs one census-shaped DIVA point with ``collect_obs=True`` and records
+the embedded ``obs`` block — per-phase span timings plus the search
+counters — to ``BENCH_obs.json`` at the repo root.  This is the artifact
+that tracks where pipeline time goes (clustering vs suppress vs k-member)
+and how search effort scales, PR over PR.
+
+Excluded from tier-1 runs by the ``bench`` marker; run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_obs_instrumentation.py -m bench -s -p no:cacheprovider
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import run_diva_point
+from repro.data.datasets import make_census
+from repro.obs import (
+    SPAN_DIVA_RUN,
+    SPAN_DIVERSE_CLUSTERING,
+    SPAN_KMEMBER_CLUSTER,
+)
+from repro.workloads.constraint_gen import proportion_constraints
+
+pytestmark = pytest.mark.bench
+
+N_ROWS = 2_000
+K = 5
+N_CONSTRAINTS = 6
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def test_pipeline_profile():
+    relation = make_census(seed=3, n_rows=N_ROWS)
+    sigma = proportion_constraints(relation, N_CONSTRAINTS, k=K, seed=3)
+    point = run_diva_point(
+        relation, sigma, K, "maxfanout", seed=3, collect_obs=True
+    )
+
+    block = point.extras["obs"]
+    spans, counters = block["spans"], block["counters"]
+    # The profile must actually cover the pipeline, not be an empty shell.
+    for name in (SPAN_DIVA_RUN, SPAN_DIVERSE_CLUSTERING, SPAN_KMEMBER_CLUSTER):
+        assert name in spans, f"missing span {name!r}"
+        assert spans[name]["total_s"] >= 0.0
+    assert counters.get("graph.nodes", 0) >= 1
+    assert counters.get("kmember.clusters", 0) >= 1
+
+    payload = {
+        "n_rows": N_ROWS,
+        "k": K,
+        "n_constraints": N_CONSTRAINTS,
+        "runtime_s": round(point.runtime, 6),
+        "accuracy": round(point.accuracy, 6),
+        "obs": block,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+    # Phase spans must nest sanely inside the run span (generous slack:
+    # these are wall-clock timings, not exact accounting).
+    run_total = spans[SPAN_DIVA_RUN]["total_s"]
+    assert spans[SPAN_DIVERSE_CLUSTERING]["total_s"] <= run_total + 1e-6

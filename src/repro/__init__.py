@@ -23,6 +23,7 @@ Quickstart::
     assert sigma.is_satisfied_by(result.relation)
 """
 
+from . import obs
 from .anonymize import (
     ANONYMIZERS,
     Anonymizer,
@@ -86,6 +87,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # data
     "STAR",
     "Attribute",

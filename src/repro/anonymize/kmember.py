@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..data.relation import Relation
 from .base import Anonymizer
 from .encoding import QIEncoder
@@ -29,6 +30,10 @@ class KMemberAnonymizer(Anonymizer):
     name = "k-member"
 
     def cluster(self, relation: Relation, k: int) -> list[set[int]]:
+        with obs.span(obs.SPAN_KMEMBER_CLUSTER):
+            return self._cluster(relation, k)
+
+    def _cluster(self, relation: Relation, k: int) -> list[set[int]]:
         self._require_enough_tuples(relation, k)
         enc = QIEncoder(relation)
         n = len(enc)
@@ -62,31 +67,49 @@ class KMemberAnonymizer(Anonymizer):
             clusters_rows.append(members)
             current = seed
 
-        # Leftovers (< k of them): each joins the cluster whose uniform
-        # profile it disturbs least.  Every cluster's uniform mask is
-        # computed once up front; each assignment then scores all clusters
-        # in one broadcasted pass and updates only the chosen cluster's
-        # mask (its first-member profile never changes).
         leftovers = np.flatnonzero(remaining)
         if len(leftovers) and not clusters_rows:
             # len(relation) >= k guarantees at least one cluster exists.
             raise AssertionError("unreachable: no cluster formed")
         if len(leftovers):
-            profiles = matrix[[rows[0] for rows in clusters_rows]]
-            uniform_masks = np.stack(
-                [
-                    (matrix[rows] == profile).all(axis=0)
-                    for rows, profile in zip(clusters_rows, profiles)
-                ]
-            )
-            sizes = np.array([len(rows) for rows in clusters_rows])
-            for row in leftovers:
-                diffs = (profiles != matrix[row]) & uniform_masks
-                costs = diffs.sum(axis=1) * (sizes + 1)
-                best = int(np.argmin(costs))
-                uniform_masks[best] &= ~diffs[best]
-                sizes[best] += 1
-                clusters_rows[best].append(int(row))
+            self._assign_leftovers(matrix, clusters_rows, leftovers)
+        obs.incr_many(
+            {
+                obs.KMEMBER_CLUSTERS: len(clusters_rows),
+                obs.KMEMBER_LEFTOVERS: int(len(leftovers)),
+            }
+        )
 
         tids = enc.tids
         return [set(int(tids[r]) for r in rows) for rows in clusters_rows]
+
+    @staticmethod
+    def _assign_leftovers(
+        matrix: np.ndarray,
+        clusters_rows: list[list[int]],
+        leftovers: np.ndarray,
+    ) -> None:
+        """Distribute the < k leftover rows to their cheapest clusters.
+
+        Each leftover joins the cluster whose uniform profile it disturbs
+        least.  Every cluster's uniform mask is computed once up front;
+        each assignment then scores all clusters in one broadcasted pass
+        and incrementally updates only the chosen cluster's mask (its
+        first-member profile never changes, so ``uniform &= ~diffs`` is
+        exactly the from-scratch recompute).  Mutates ``clusters_rows``.
+        """
+        profiles = matrix[[rows[0] for rows in clusters_rows]]
+        uniform_masks = np.stack(
+            [
+                (matrix[rows] == profile).all(axis=0)
+                for rows, profile in zip(clusters_rows, profiles)
+            ]
+        )
+        sizes = np.array([len(rows) for rows in clusters_rows])
+        for row in leftovers:
+            diffs = (profiles != matrix[row]) & uniform_masks
+            costs = diffs.sum(axis=1) * (sizes + 1)
+            best = int(np.argmin(costs))
+            uniform_masks[best] &= ~diffs[best]
+            sizes[best] += 1
+            clusters_rows[best].append(int(row))

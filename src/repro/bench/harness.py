@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from .. import obs
 from ..anonymize import make_anonymizer
 from ..core.constraints import ConstraintSet
 from ..core.diva import Diva
@@ -61,11 +62,17 @@ def run_diva_point(
     seed: int = 0,
     max_steps: Optional[int] = 200_000,
     n_trials: int = 1,
+    collect_obs: bool = False,
 ) -> SeriesPoint:
     """Run DIVA once (or averaged over trials) and measure the output.
 
     Best-effort mode is used so infeasible Σ produce a degraded-accuracy
     point (as in the paper's high-conflict sweeps) instead of aborting.
+
+    ``collect_obs=True`` runs each trial under a fresh in-memory
+    observability collector and embeds the summarized ``obs`` block
+    (per-phase span timings + search counters, last trial) in the point's
+    extras — that block is what the benchmark JSON artifacts record.
     """
     outputs = {}
 
@@ -76,24 +83,32 @@ def run_diva_point(
             max_steps=max_steps,
             seed=seed + trial,
         )
-        result = solver.run(relation, constraints, k)
+        if collect_obs:
+            with obs.collecting() as collector:
+                result = solver.run(relation, constraints, k)
+            outputs["obs"] = obs.summarize(collector)
+        else:
+            result = solver.run(relation, constraints, k)
         outputs["result"] = result
         return result
 
     trial = run_trials(once, n_trials=n_trials)
     result = outputs["result"]
     metrics = measure_output(result.relation, k)
+    extras = {
+        "stars": metrics["stars"],
+        "star_ratio": metrics["star_ratio"],
+        "dropped": len(result.dropped),
+        "backtracks": result.stats.backtracks,
+        "candidates_tried": result.stats.candidates_tried,
+    }
+    if collect_obs:
+        extras["obs"] = outputs["obs"]
     return SeriesPoint(
         x=None,
         runtime=trial.mean_time,
         accuracy=metrics["accuracy"],
-        extras={
-            "stars": metrics["stars"],
-            "star_ratio": metrics["star_ratio"],
-            "dropped": len(result.dropped),
-            "backtracks": result.stats.backtracks,
-            "candidates_tried": result.stats.candidates_tried,
-        },
+        extras=extras,
     )
 
 

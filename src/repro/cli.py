@@ -17,6 +17,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from . import obs
 from .core.constraints import ConstraintSet, DiversityConstraint
 from .core.diva import Diva
 from .core.problem import KSigmaProblem
@@ -57,7 +58,23 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         best_effort=args.best_effort,
         seed=args.seed,
     )
-    result = solver.run(relation, constraints, args.k)
+    collector = None
+    if args.stats or args.trace:
+        # --stats prints the in-memory summary; --trace streams replayable
+        # JSONL events.  Both can be active at once via a tee.
+        collector = obs.Collector()
+        sinks: list[obs.Sink] = [collector]
+        if args.trace:
+            sinks.append(obs.JsonlSink(args.trace))
+        sink = sinks[0] if len(sinks) == 1 else obs.TeeSink(*sinks)
+        try:
+            with obs.use_sink(sink):
+                result = solver.run(relation, constraints, args.k)
+        finally:
+            for s in sinks[1:]:
+                s.close()
+    else:
+        result = solver.run(relation, constraints, args.k)
     save_relation(result.relation, args.output)
     metrics = measure_output(result.relation, args.k)
     print(f"wrote {args.output}: |R|={len(result.relation)}")
@@ -69,6 +86,10 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         print(f"dropped {len(result.dropped)} unsatisfiable constraint(s):")
         for sigma in result.dropped:
             print(f"  {sigma!r}")
+    if args.stats:
+        print(obs.render(obs.summarize(collector)))
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -164,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--anonymizer", default="k-member")
     p.add_argument("--best-effort", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print per-phase span timings and search counters",
+    )
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="write span/counter events as replayable JSONL to FILE",
+    )
     p.set_defaults(fn=cmd_anonymize)
 
     p = sub.add_parser("check", help="validate an anonymized CSV")

@@ -38,6 +38,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..data.relation import Relation
 from .clusterings import (
     enumerate_clusterings,
@@ -69,12 +70,18 @@ class SearchBudgetExceeded(ReproError):
 
 @dataclass
 class SearchStats:
-    """Effort counters for one coloring search."""
+    """Effort counters for one coloring search.
+
+    ``prunes`` counts candidates rejected by the consistency check without
+    descending (the "pruned branch" statistic systematic-search anonymizers
+    report); the other counters match the paper's effort measures.
+    """
 
     nodes_expanded: int = 0
     candidates_tried: int = 0
     backtracks: int = 0
     consistency_checks: int = 0
+    prunes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -82,6 +89,7 @@ class SearchStats:
             "candidates_tried": self.candidates_tried,
             "backtracks": self.backtracks,
             "consistency_checks": self.consistency_checks,
+            "prunes": self.prunes,
         }
 
 
@@ -160,15 +168,16 @@ class ColoringSearch:
         self.max_steps = max_steps
         self.stats = SearchStats()
         self._candidates: dict[int, list[Clustering]] = {}
-        for node in self.graph:
-            self._candidates[node.index] = enumerate_clusterings(
-                relation,
-                node.constraint,
-                k,
-                max_candidates=max_candidates,
-                rng=self.rng,
-                target_tids=set(node.target_tids),
-            )
+        with obs.span(obs.SPAN_ENUMERATE_CANDIDATES):
+            for node in self.graph:
+                self._candidates[node.index] = enumerate_clusterings(
+                    relation,
+                    node.constraint,
+                    k,
+                    max_candidates=max_candidates,
+                    rng=self.rng,
+                    target_tids=set(node.target_tids),
+                )
         # Backend captured at construction: the vectorized path shares the
         # relation's columnar index (and its cluster-contribution memo);
         # the reference path keeps projected QI row tuples.
@@ -315,22 +324,49 @@ class ColoringSearch:
         """Execute the full backtracking search (Algorithm 4).
 
         Raises :class:`SearchBudgetExceeded` if ``max_steps`` candidate
-        evaluations are exhausted first.
+        evaluations are exhausted first.  Search-effort counters are
+        emitted to the observability layer when the search finishes —
+        including on budget exhaustion, so partial effort is recorded.
         """
-        assignment: dict[int, Clustering] = {}
-        all_indices = [node.index for node in self.graph]
-        success = self._color(assignment, set(all_indices))
-        if not success:
-            return ColoringResult(False, stats=self.stats)
-        merged = normalize_clustering(merged_clusters(assignment))
-        satisfied = tuple(self.graph.node(i).constraint for i in sorted(assignment))
-        return ColoringResult(
-            True,
-            assignment=dict(assignment),
-            clustering=merged,
-            satisfied=satisfied,
-            stats=self.stats,
-        )
+        with obs.span(obs.SPAN_COLORING_SEARCH):
+            try:
+                assignment: dict[int, Clustering] = {}
+                all_indices = [node.index for node in self.graph]
+                success = self._color(assignment, set(all_indices))
+            finally:
+                self._emit_effort()
+            if not success:
+                return ColoringResult(False, stats=self.stats)
+            merged = normalize_clustering(merged_clusters(assignment))
+            satisfied = tuple(
+                self.graph.node(i).constraint for i in sorted(assignment)
+            )
+            return ColoringResult(
+                True,
+                assignment=dict(assignment),
+                clustering=merged,
+                satisfied=satisfied,
+                stats=self.stats,
+            )
+
+    def _emit_effort(self) -> None:
+        """Flush cumulative SearchStats as observability counters.
+
+        Aggregate emission at search end keeps the backtracking inner loop
+        free of per-event sink traffic; repeated ``run()`` calls on one
+        search instance would re-emit the running totals, so call once.
+        """
+        if obs.enabled():
+            stats = self.stats
+            obs.incr_many(
+                {
+                    obs.COLORING_NODES_EXPANDED: stats.nodes_expanded,
+                    obs.COLORING_CANDIDATES_TRIED: stats.candidates_tried,
+                    obs.COLORING_BACKTRACKS: stats.backtracks,
+                    obs.COLORING_CONSISTENCY_CHECKS: stats.consistency_checks,
+                    obs.COLORING_PRUNES: stats.prunes,
+                }
+            )
 
     def _color(self, assignment: dict[int, Clustering], uncolored: set[int]) -> bool:
         if not uncolored:
@@ -350,6 +386,7 @@ class ColoringSearch:
             self._charge_step()
             self.stats.candidates_tried += 1
             if not self._consistent(candidate):
+                self.stats.prunes += 1
                 continue
             assignment[node_index] = candidate
             uncolored.discard(node_index)

@@ -25,12 +25,12 @@ single infeasible Σ doesn't abort a whole experiment.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..data.relation import Relation
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 from .coloring import ColoringSearch, SearchBudgetExceeded, SearchStats
 from .constraints import ConstraintSet, DiversityConstraint
 from .errors import UnsatisfiableError
+from .index import get_index, vectorized_enabled
 from .integrate import IntegrationReport, integrate
 from .problem import KSigmaProblem
 from .strategies import SelectionStrategy, make_strategy
@@ -164,9 +165,28 @@ class Diva:
     def run(
         self, relation: Relation, constraints: ConstraintSet, k: int
     ) -> DivaResult:
-        """Solve one (k, Σ)-anonymization instance (Algorithm 1)."""
+        """Solve one (k, Σ)-anonymization instance (Algorithm 1).
+
+        Each phase runs inside an observability span (the span durations
+        are also the ``result.timings`` entries), and run-level counters —
+        suppressed cells, dropped constraints, kernel cluster-cache deltas
+        — are emitted when a sink is installed; with the default null sink
+        the instrumentation is inert and behavior-neutral.
+        """
+        with obs.span(obs.SPAN_DIVA_RUN):
+            return self._run_instrumented(relation, constraints, k)
+
+    def _run_instrumented(
+        self, relation: Relation, constraints: ConstraintSet, k: int
+    ) -> DivaResult:
         problem = KSigmaProblem(relation, constraints, k)
         rng = self._fresh_rng()
+
+        # Kernel cluster-cache counters are cumulative on the shared index,
+        # so report this run's contribution as a delta.
+        cache_before = None
+        if obs.enabled() and vectorized_enabled():
+            cache_before = dict(get_index(relation).cache_stats())
 
         active = constraints
         dropped: list[DiversityConstraint] = []
@@ -185,12 +205,12 @@ class Diva:
         timings: dict[str, float] = {}
 
         # Phase 1: DiverseClustering (with best-effort constraint dropping).
-        t0 = time.perf_counter()
-        coloring, active, newly_dropped = self._diverse_clustering(
-            relation, active, k, rng
-        )
+        with obs.span(obs.SPAN_DIVERSE_CLUSTERING) as sp:
+            coloring, active, newly_dropped = self._diverse_clustering(
+                relation, active, k, rng
+            )
         dropped.extend(newly_dropped)
-        timings["diverse_clustering"] = time.perf_counter() - t0
+        timings["diverse_clustering"] = sp.duration
         if coloring is None:
             raise UnsatisfiableError(
                 "no diverse clustering exists: relation does not exist",
@@ -198,44 +218,61 @@ class Diva:
             )
 
         # Phase 2: Suppress SΣ into RΣ.
-        t0 = time.perf_counter()
-        r_sigma = suppress(relation, coloring.clustering)
-        timings["suppress"] = time.perf_counter() - t0
+        with obs.span(obs.SPAN_SUPPRESS) as sp:
+            r_sigma = suppress(relation, coloring.clustering)
+        timings["suppress"] = sp.duration
 
         # Phase 3: Anonymize the remaining tuples.
-        t0 = time.perf_counter()
-        rest = relation.without(covered_tids(coloring.clustering))
-        if len(rest) == 0:
-            r_k = rest
-        elif len(rest) < k:
-            # Fewer than k leftovers cannot form their own QI-group; fold
-            # them into the SΣ cluster where they do the least damage.
-            r_sigma = self._absorb_small_remainder(
-                relation, coloring.clustering, rest, active
-            )
-            r_k = rest.without(rest.tids)
-        else:
-            anonymizer = self._fresh_anonymizer(rng)
-            r_k = anonymizer.anonymize(rest, k)
-        timings["anonymize"] = time.perf_counter() - t0
+        with obs.span(obs.SPAN_ANONYMIZE) as sp:
+            rest = relation.without(covered_tids(coloring.clustering))
+            if len(rest) == 0:
+                r_k = rest
+            elif len(rest) < k:
+                # Fewer than k leftovers cannot form their own QI-group; fold
+                # them into the SΣ cluster where they do the least damage.
+                r_sigma = self._absorb_small_remainder(
+                    relation, coloring.clustering, rest, active
+                )
+                r_k = rest.without(rest.tids)
+            else:
+                anonymizer = self._fresh_anonymizer(rng)
+                r_k = anonymizer.anonymize(rest, k)
+        timings["anonymize"] = sp.duration
 
         # Phase 4: Integrate and repair upper bounds.
-        t0 = time.perf_counter()
-        final, report = integrate(r_sigma, r_k, active)
-        timings["integrate"] = time.perf_counter() - t0
+        with obs.span(obs.SPAN_INTEGRATE) as sp:
+            final, report = integrate(r_sigma, r_k, active)
+        timings["integrate"] = sp.duration
 
         if self.refine:
             from .refine import refine_result
 
-            t0 = time.perf_counter()
-            draft = DivaResult(
-                relation=final,
-                r_sigma=r_sigma,
-                r_k=r_k,
-                satisfied=tuple(active),
-            )
-            final, _saved = refine_result(draft, relation, k)
-            timings["refine"] = time.perf_counter() - t0
+            with obs.span(obs.SPAN_REFINE) as sp:
+                draft = DivaResult(
+                    relation=final,
+                    r_sigma=r_sigma,
+                    r_k=r_k,
+                    satisfied=tuple(active),
+                )
+                final, _saved = refine_result(draft, relation, k)
+            timings["refine"] = sp.duration
+
+        if obs.enabled():
+            run_counters = {
+                obs.SUPPRESS_CELLS_STARRED: final.star_count(),
+                obs.DIVA_CONSTRAINTS_DROPPED: len(dropped),
+            }
+            if cache_before is not None:
+                cache_after = get_index(relation).cache_stats()
+                run_counters[obs.INDEX_CLUSTER_CACHE_HITS] = (
+                    cache_after["cluster_cache_hits"]
+                    - cache_before["cluster_cache_hits"]
+                )
+                run_counters[obs.INDEX_CLUSTER_CACHE_MISSES] = (
+                    cache_after["cluster_cache_misses"]
+                    - cache_before["cluster_cache_misses"]
+                )
+            obs.incr_many(run_counters)
 
         return DivaResult(
             relation=final,

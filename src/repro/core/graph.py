@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..data.relation import Relation
 from .constraints import ConstraintSet, DiversityConstraint
 from .index import get_index, vectorized_enabled
@@ -77,6 +78,9 @@ class ConstraintGraph:
                     self._adjacency[a.index].add(b.index)
                     self._adjacency[b.index].add(a.index)
                     self._overlaps[frozenset((a.index, b.index))] = frozenset(shared)
+        obs.incr_many(
+            {obs.GRAPH_NODES: len(self._nodes), obs.GRAPH_EDGES: len(self._overlaps)}
+        )
 
     # -- structure -----------------------------------------------------------
 
@@ -148,4 +152,5 @@ class ConstraintGraph:
 
 def build_graph(relation: Relation, constraints: ConstraintSet) -> ConstraintGraph:
     """``BuildGraph(R, Σ)`` of Algorithm 3."""
-    return ConstraintGraph(relation, constraints)
+    with obs.span(obs.SPAN_GRAPH_BUILD):
+        return ConstraintGraph(relation, constraints)

@@ -185,6 +185,10 @@ class RelationIndex:
         "_rows_cache",
         "_pc_cache",
         "_cost_cache",
+        "_pc_hits",
+        "_pc_misses",
+        "_cost_hits",
+        "_cost_misses",
     )
 
     def __init__(self, relation: Relation):
@@ -223,9 +227,29 @@ class RelationIndex:
         self._rows_cache: dict[frozenset, np.ndarray] = {}
         self._pc_cache: dict[tuple[frozenset, DiversityConstraint], int] = {}
         self._cost_cache: dict[frozenset, int] = {}
+        # Cluster-cache effort tallies: plain always-on ints (one += per
+        # memo lookup, the same budget SearchStats spends per candidate).
+        # The observability layer reads them as deltas via cache_stats();
+        # nothing here ever calls into repro.obs, keeping kernels sink-free.
+        self._pc_hits = 0
+        self._pc_misses = 0
+        self._cost_hits = 0
+        self._cost_misses = 0
 
     def __len__(self) -> int:
         return self.codes.shape[0]
+
+    def cache_stats(self) -> dict[str, int]:
+        """Cumulative cluster-cache effort (preserved-count + cost memos).
+
+        The observability layer (``repro.obs``) emits these as *deltas*
+        around each DIVA run: the index — and therefore these tallies —
+        outlives any single search, so absolute values mix workloads.
+        """
+        return {
+            "cluster_cache_hits": self._pc_hits + self._cost_hits,
+            "cluster_cache_misses": self._pc_misses + self._cost_misses,
+        }
 
     # -- row addressing ------------------------------------------------------
 
@@ -319,8 +343,11 @@ class RelationIndex:
             sub = self._pc_cache[sigma] = {}
         cached = sub.get(cluster)
         if cached is None:
+            self._pc_misses += 1
             cached = self._preserved_count_uncached(cluster, sigma)
             sub[cluster] = cached
+        else:
+            self._pc_hits += 1
         return cached
 
     def _preserved_count_uncached(
@@ -367,11 +394,13 @@ class RelationIndex:
                     if cluster:
                         missing.append(cluster)
                 else:
+                    self._pc_hits += 1
                     total += cached
         else:
             missing = [c for c in clusters if len(c)]
         if not missing:
             return total
+        self._pc_misses += len(missing)
         art = self.artifacts(sigma)
         lengths = np.fromiter(
             (len(c) for c in missing), dtype=np.intp, count=len(missing)
@@ -429,6 +458,7 @@ class RelationIndex:
         """
         cached = self._cost_cache.get(cluster)
         if cached is None:
+            self._cost_misses += 1
             rows = self.rows_of(cluster)
             if rows.size == 0:
                 cached = 0
@@ -437,6 +467,8 @@ class RelationIndex:
                 varying = int((block != block[0]).any(axis=0).sum())
                 cached = varying * rows.size
             self._cost_cache[cluster] = cached
+        else:
+            self._cost_hits += 1
         return cached
 
     def clustering_cost(self, clusters: Sequence[frozenset]) -> int:
@@ -459,9 +491,11 @@ class RelationIndex:
                 else:
                     self._cost_cache[cluster] = 0
             else:
+                self._cost_hits += 1
                 total += cached
         if not missing:
             return total
+        self._cost_misses += len(missing)
         lengths = np.fromiter(
             (len(c) for c in missing), dtype=np.intp, count=len(missing)
         )

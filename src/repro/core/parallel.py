@@ -23,6 +23,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..data.relation import Relation
 from .coloring import ColoringResult, ColoringSearch, SearchStats
 from .constraints import ConstraintSet
@@ -39,18 +40,36 @@ def _solve_component(
     strategy,
     max_candidates: int,
     max_steps: Optional[int],
-) -> ColoringResult:
-    """Module-level worker so process pools can pickle the call."""
-    search = ColoringSearch(
-        relation,
-        subset,
-        k,
-        strategy=strategy,
-        max_candidates=max_candidates,
-        max_steps=max_steps,
-        rng=np.random.default_rng(seed_seq),
-    )
-    return search.run()
+    collect: bool = False,
+) -> tuple[ColoringResult, Optional[dict]]:
+    """Module-level worker so process pools can pickle the call.
+
+    With ``collect=True`` the component's search runs under a fresh
+    thread-local :class:`~repro.obs.Collector` and its picklable snapshot
+    rides back with the result.  The thread-local scope is what keeps
+    concurrent workers from interleaving events: on a thread pool each
+    worker records privately; on a process pool the child's sink state is
+    fresh anyway and the snapshot is the only channel home.
+    """
+    def solve() -> ColoringResult:
+        search = ColoringSearch(
+            relation,
+            subset,
+            k,
+            strategy=strategy,
+            max_candidates=max_candidates,
+            max_steps=max_steps,
+            rng=np.random.default_rng(seed_seq),
+        )
+        return search.run()
+
+    if not collect:
+        return solve(), None
+    # Construction included: graph-build and candidate-enumeration events
+    # belong to this worker, under thread and process executors alike.
+    with obs.collecting() as collector:
+        result = solve()
+    return result, collector.snapshot()
 
 
 def component_coloring(
@@ -93,20 +112,31 @@ def component_coloring(
         strategy=strategy,
         max_candidates=max_candidates,
         max_steps=max_steps,
+        # Decided once at submit time: workers collect per-worker snapshots
+        # iff this (parent) thread has a sink installed.
+        collect=obs.enabled(),
     )
 
     if max_workers is None or max_workers <= 1 or len(components) <= 1:
-        results = [solve(s, ss) for s, ss in zip(subsets, seed_seqs)]
+        pairs = [solve(s, ss) for s, ss in zip(subsets, seed_seqs)]
     elif executor == "process":
         if not isinstance(strategy, str):
             raise ValueError(
                 "process executor needs a strategy name, not an instance"
             )
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(solve, subsets, seed_seqs))
+            pairs = list(pool.map(solve, subsets, seed_seqs))
     else:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(solve, subsets, seed_seqs))
+            pairs = list(pool.map(solve, subsets, seed_seqs))
+
+    # Join: replay each worker's snapshot into this thread's sink, in
+    # component order, so merged counters match a sequential run exactly.
+    results = []
+    for result, snapshot in pairs:
+        if snapshot is not None:
+            obs.emit_snapshot(snapshot)
+        results.append(result)
 
     merged_stats = SearchStats()
     merged_assignment: dict[int, tuple] = {}
@@ -117,6 +147,7 @@ def component_coloring(
         merged_stats.candidates_tried += result.stats.candidates_tried
         merged_stats.backtracks += result.stats.backtracks
         merged_stats.consistency_checks += result.stats.consistency_checks
+        merged_stats.prunes += result.stats.prunes
         if not result.success:
             return ColoringResult(False, stats=merged_stats)
         # Per-component searches number nodes locally; remap to global.

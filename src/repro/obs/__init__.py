@@ -1,0 +1,97 @@
+"""``repro.obs`` — zero-dependency instrumentation for the DIVA pipeline.
+
+Three pieces:
+
+* **Spans** — :class:`~repro.obs.runtime.span`, a nestable context
+  manager / decorator timing named regions on monotonic clocks;
+* **Counters** — :func:`~repro.obs.runtime.incr` /
+  :func:`~repro.obs.runtime.incr_many` over the stable taxonomy in
+  :mod:`repro.obs.names` (graph size, coloring effort, kernel cache
+  hit rates, suppression volume);
+* **Sinks** — where events go: the default :data:`~repro.obs.sinks.NULL`
+  discards everything at ~zero cost, :class:`~repro.obs.sinks.Collector`
+  accumulates in memory with mergeable snapshots, and
+  :class:`~repro.obs.sinks.JsonlSink` writes replayable traces.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.collecting() as collector:
+        result = run_diva(relation, sigma, k=10)
+    print(obs.render(obs.summarize(collector)))
+
+Instrumentation is behavior-neutral by construction — it never touches
+RNG streams or algorithm state — and ``tests/test_obs.py`` asserts DIVA
+output is identical with sinks enabled vs disabled on both kernel
+backends.
+"""
+
+from .names import (  # noqa: F401
+    ALL_COUNTERS,
+    ALL_SPANS,
+    COLORING_BACKTRACKS,
+    COLORING_CANDIDATES_TRIED,
+    COLORING_CONSISTENCY_CHECKS,
+    COLORING_NODES_EXPANDED,
+    COLORING_PRUNES,
+    DIVA_CONSTRAINTS_DROPPED,
+    GRAPH_EDGES,
+    GRAPH_NODES,
+    INDEX_CLUSTER_CACHE_HITS,
+    INDEX_CLUSTER_CACHE_MISSES,
+    KMEMBER_CLUSTERS,
+    KMEMBER_LEFTOVERS,
+    SPAN_ANONYMIZE,
+    SPAN_COLORING_SEARCH,
+    SPAN_DIVA_RUN,
+    SPAN_DIVERSE_CLUSTERING,
+    SPAN_ENUMERATE_CANDIDATES,
+    SPAN_GRAPH_BUILD,
+    SPAN_INTEGRATE,
+    SPAN_KMEMBER_CLUSTER,
+    SPAN_REFINE,
+    SPAN_SUPPRESS,
+    SUPPRESS_CELLS_STARRED,
+)
+from .report import render, summarize
+from .runtime import (
+    active_sink,
+    collecting,
+    emit_snapshot,
+    enabled,
+    incr,
+    incr_many,
+    set_global_sink,
+    span,
+    use_sink,
+)
+from .sinks import NULL, Collector, JsonlSink, NullSink, Sink, SpanEvent, TeeSink, replay
+
+__all__ = [
+    # runtime
+    "span",
+    "incr",
+    "incr_many",
+    "enabled",
+    "active_sink",
+    "set_global_sink",
+    "use_sink",
+    "collecting",
+    "emit_snapshot",
+    # sinks
+    "Sink",
+    "NullSink",
+    "NULL",
+    "Collector",
+    "JsonlSink",
+    "TeeSink",
+    "SpanEvent",
+    "replay",
+    # report
+    "summarize",
+    "render",
+    # taxonomy
+    "ALL_COUNTERS",
+    "ALL_SPANS",
+]

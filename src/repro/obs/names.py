@@ -1,0 +1,80 @@
+"""The stable event taxonomy: counter and span names.
+
+These strings are a **contract**: trace files, bench-result ``obs`` blocks
+and downstream dashboards key on them, so renaming one is a breaking
+change (add new names instead; see the Observability sections of README.md
+and DESIGN.md).  ``tests/test_obs.py`` pins the full set.
+"""
+
+from __future__ import annotations
+
+# -- counters ------------------------------------------------------------------
+
+#: Constraint-interaction graph size (one emission per graph build).
+GRAPH_NODES = "graph.nodes"
+GRAPH_EDGES = "graph.edges"
+
+#: Coloring-search effort (aggregated per search, emitted when it finishes —
+#: including on budget exhaustion, so partial effort is never lost).
+COLORING_NODES_EXPANDED = "coloring.nodes_expanded"
+COLORING_CANDIDATES_TRIED = "coloring.candidates_tried"
+COLORING_BACKTRACKS = "coloring.backtracks"
+COLORING_PRUNES = "coloring.prunes"
+COLORING_CONSISTENCY_CHECKS = "coloring.consistency_checks"
+
+#: RelationIndex memoized cluster caches (preserved-count + suppression-cost
+#: memos combined), emitted as deltas around each DIVA run.
+INDEX_CLUSTER_CACHE_HITS = "index.cluster_cache_hits"
+INDEX_CLUSTER_CACHE_MISSES = "index.cluster_cache_misses"
+
+#: Cells starred by the Suppress phase (RΣ), per DIVA run.
+SUPPRESS_CELLS_STARRED = "suppress.cells_starred"
+
+#: Constraints dropped in best-effort mode, per DIVA run.
+DIVA_CONSTRAINTS_DROPPED = "diva.constraints_dropped"
+
+#: k-member anonymizer: clusters formed and < k leftovers redistributed.
+KMEMBER_CLUSTERS = "kmember.clusters"
+KMEMBER_LEFTOVERS = "kmember.leftovers"
+
+ALL_COUNTERS = (
+    GRAPH_NODES,
+    GRAPH_EDGES,
+    COLORING_NODES_EXPANDED,
+    COLORING_CANDIDATES_TRIED,
+    COLORING_BACKTRACKS,
+    COLORING_PRUNES,
+    COLORING_CONSISTENCY_CHECKS,
+    INDEX_CLUSTER_CACHE_HITS,
+    INDEX_CLUSTER_CACHE_MISSES,
+    SUPPRESS_CELLS_STARRED,
+    DIVA_CONSTRAINTS_DROPPED,
+    KMEMBER_CLUSTERS,
+    KMEMBER_LEFTOVERS,
+)
+
+# -- spans ---------------------------------------------------------------------
+
+SPAN_DIVA_RUN = "diva.run"
+SPAN_DIVERSE_CLUSTERING = "diva.diverse_clustering"
+SPAN_SUPPRESS = "diva.suppress"
+SPAN_ANONYMIZE = "diva.anonymize"
+SPAN_INTEGRATE = "diva.integrate"
+SPAN_REFINE = "diva.refine"
+SPAN_GRAPH_BUILD = "graph.build"
+SPAN_COLORING_SEARCH = "coloring.search"
+SPAN_ENUMERATE_CANDIDATES = "coloring.enumerate_candidates"
+SPAN_KMEMBER_CLUSTER = "kmember.cluster"
+
+ALL_SPANS = (
+    SPAN_DIVA_RUN,
+    SPAN_DIVERSE_CLUSTERING,
+    SPAN_SUPPRESS,
+    SPAN_ANONYMIZE,
+    SPAN_INTEGRATE,
+    SPAN_REFINE,
+    SPAN_GRAPH_BUILD,
+    SPAN_COLORING_SEARCH,
+    SPAN_ENUMERATE_CANDIDATES,
+    SPAN_KMEMBER_CLUSTER,
+)

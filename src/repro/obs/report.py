@@ -1,0 +1,68 @@
+"""Summarizing and rendering collected observability data.
+
+:func:`summarize` reduces a :class:`~repro.obs.sinks.Collector` (or a
+snapshot) to a plain-dict ``obs`` block — per-span count/total/mean/max
+plus the counter map — which is what the bench harness embeds in its JSON
+results and the ``--stats`` CLI flag renders via :func:`render`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .sinks import Collector
+
+
+def summarize(source: Union[Collector, dict]) -> dict:
+    """Aggregate spans and counters into a JSON-ready ``obs`` block.
+
+    Returns ``{"spans": {name: {count, total_s, mean_s, max_s}},
+    "counters": {name: value}}`` with names sorted for stable output.
+    """
+    if isinstance(source, Collector):
+        snapshot = source.snapshot()
+    else:
+        snapshot = source
+    spans: dict[str, dict] = {}
+    for event in snapshot.get("spans", ()):
+        agg = spans.setdefault(
+            event["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        agg["count"] += 1
+        agg["total_s"] += event["duration"]
+        agg["max_s"] = max(agg["max_s"], event["duration"])
+    for agg in spans.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+        for key in ("total_s", "mean_s", "max_s"):
+            agg[key] = round(agg[key], 6)
+    counters = dict(sorted(snapshot.get("counters", {}).items()))
+    return {
+        "spans": {name: spans[name] for name in sorted(spans)},
+        "counters": counters,
+    }
+
+
+def render(summary: dict) -> str:
+    """Human-readable text of a :func:`summarize` block (``--stats``)."""
+    lines = ["spans:"]
+    spans = summary.get("spans", {})
+    if not spans:
+        lines.append("  (none)")
+    else:
+        width = max(len(name) for name in spans)
+        for name, agg in spans.items():
+            lines.append(
+                f"  {name.ljust(width)}  {agg['count']:>4}x"
+                f"  total {agg['total_s']:.6f}s"
+                f"  mean {agg['mean_s']:.6f}s"
+                f"  max {agg['max_s']:.6f}s"
+            )
+    lines.append("counters:")
+    counters = summary.get("counters", {})
+    if not counters:
+        lines.append("  (none)")
+    else:
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+    return "\n".join(lines)

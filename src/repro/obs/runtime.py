@@ -1,0 +1,173 @@
+"""Active-sink state, the ``span`` timer and the counter entry points.
+
+The active sink resolves thread-locally first, then process-globally, and
+defaults to :data:`~repro.obs.sinks.NULL`.  The thread-local layer is what
+makes per-worker collection race-free: each worker thread of the parallel
+coloring installs its own :class:`~repro.obs.sinks.Collector` with
+:func:`use_sink` without touching its siblings, and the parent merges the
+snapshots after the join.
+
+Every emission site is guarded by an identity check against ``NULL``, so a
+disabled process pays one module/thread-local read and a pointer comparison
+per site — the "~0 when disabled" contract ``tests/test_obs.py`` pins with
+its overhead guard.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, Iterator, Mapping, Optional
+
+from .sinks import NULL, Collector, Sink, SpanEvent
+
+
+class _Local(threading.local):
+    def __init__(self) -> None:
+        self.sink: Optional[Sink] = None
+        self.stack: list[str] = []
+
+
+_LOCAL = _Local()
+_GLOBAL: Sink = NULL
+
+
+def active_sink() -> Sink:
+    """The sink receiving this thread's events (thread-local > global)."""
+    local = _LOCAL.sink
+    return local if local is not None else _GLOBAL
+
+
+def enabled() -> bool:
+    """True iff events emitted by this thread are being recorded."""
+    return active_sink() is not NULL
+
+
+def set_global_sink(sink: Sink) -> Sink:
+    """Install ``sink`` process-wide; returns the previous global sink."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = sink
+    return previous
+
+
+@contextmanager
+def use_sink(sink: Sink, *, global_scope: bool = False) -> Iterator[Sink]:
+    """Route events to ``sink`` inside the block.
+
+    Default scope is the current thread (safe under concurrency, the mode
+    worker threads use); ``global_scope=True`` swaps the process-wide
+    default instead (what a CLI or daemon installs once).
+    """
+    global _GLOBAL
+    if global_scope:
+        previous = _GLOBAL
+        _GLOBAL = sink
+        try:
+            yield sink
+        finally:
+            _GLOBAL = previous
+    else:
+        previous = _LOCAL.sink
+        _LOCAL.sink = sink
+        try:
+            yield sink
+        finally:
+            _LOCAL.sink = previous
+
+
+class span:
+    """Timed region: context manager and decorator, nestable.
+
+    Durations come from ``time.perf_counter`` (monotonic) and are always
+    measured — ``sp.duration`` is valid even when no sink is active, which
+    lets callers reuse one clock read for their own bookkeeping (DIVA's
+    phase ``timings`` dict does).  The :class:`~repro.obs.sinks.SpanEvent`
+    is built and emitted only when a real sink is installed; nesting depth
+    and parent names come from a per-thread span stack.
+    """
+
+    __slots__ = ("name", "duration", "_sink", "_start", "_depth", "_parent")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.duration: Optional[float] = None
+
+    def __enter__(self) -> "span":
+        sink = active_sink()
+        if sink is NULL:
+            self._sink = None
+        else:
+            self._sink = sink
+            stack = _LOCAL.stack
+            self._depth = len(stack)
+            self._parent = stack[-1] if stack else None
+            stack.append(self.name)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.duration = perf_counter() - self._start
+        if self._sink is not None:
+            _LOCAL.stack.pop()
+            self._sink.emit_span(
+                SpanEvent(
+                    name=self.name,
+                    start=self._start,
+                    duration=self.duration,
+                    depth=self._depth,
+                    parent=self._parent,
+                )
+            )
+            self._sink = None
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(self.name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def incr(name: str, value: int = 1) -> None:
+    """Add ``value`` to counter ``name`` (no-op when disabled)."""
+    sink = active_sink()
+    if sink is not NULL:
+        sink.emit_count(name, value)
+
+
+def incr_many(items: Mapping[str, int]) -> None:
+    """Emit several counters with one enabled-check; zero values skipped."""
+    sink = active_sink()
+    if sink is not NULL:
+        for name, value in items.items():
+            if value:
+                sink.emit_count(name, value)
+
+
+@contextmanager
+def collecting() -> Iterator[Collector]:
+    """Convenience: run the block with a fresh thread-local Collector."""
+    collector = Collector()
+    with use_sink(collector):
+        yield collector
+
+
+def emit_snapshot(snapshot: dict, sink: Optional[Sink] = None) -> None:
+    """Replay a :meth:`Collector.snapshot` into ``sink`` (default: active).
+
+    This is the join side of the per-worker collection protocol: workers
+    return snapshots (picklable dicts), the parent replays them into its
+    own sink so counters add up exactly as in a sequential run.
+    """
+    target = sink if sink is not None else active_sink()
+    if target is NULL:
+        return
+    for event in snapshot.get("spans", ()):
+        target.emit_span(SpanEvent(**event))
+    for name, value in snapshot.get("counters", {}).items():
+        target.emit_count(name, value)

@@ -1,0 +1,175 @@
+"""Event sinks for the observability layer.
+
+Every instrumentation event is either a :class:`SpanEvent` (a named,
+nestable timed region) or a counter increment.  Producers never format or
+store events themselves — they hand them to the active :class:`Sink`:
+
+* :class:`NullSink` — records nothing; the process-wide default, so an
+  uninstrumented run pays only a pointer comparison per event site;
+* :class:`Collector` — in-memory accumulation with mergeable, picklable
+  snapshots (the per-worker collectors of ``core.parallel`` travel across
+  process boundaries as snapshots);
+* :class:`JsonlSink` — one JSON object per line, replayable via
+  :func:`replay`;
+* :class:`TeeSink` — fan-out to several sinks (``--stats`` + ``--trace``).
+
+Sinks are intentionally dumb: aggregation (per-span totals, counter sums)
+happens once, in :mod:`repro.obs.report`, not on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Optional, Union
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One closed span: a named timed region with its nesting context.
+
+    ``start`` is a ``time.perf_counter`` reading — monotonic and
+    comparable within one process, meaningless across processes (merged
+    snapshots keep per-worker starts as-is; only durations are comparable
+    globally).  ``depth``/``parent`` reproduce the nesting at emit time.
+    """
+
+    name: str
+    start: float
+    duration: float
+    depth: int = 0
+    parent: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class Sink:
+    """Receiver of instrumentation events (no-op base class)."""
+
+    def emit_span(self, event: SpanEvent) -> None:  # pragma: no cover
+        pass
+
+    def emit_count(self, name: str, value: int) -> None:  # pragma: no cover
+        pass
+
+
+class NullSink(Sink):
+    """Discards every event.  ``NULL`` is the canonical instance; event
+    sites compare the active sink against it and skip all work when it is
+    active, so the disabled path never allocates or formats anything."""
+
+
+NULL = NullSink()
+
+
+class Collector(Sink):
+    """In-memory sink: a span list plus a counter accumulator.
+
+    ``merge``/``snapshot`` define the counter merge semantics the parallel
+    coloring relies on: counters add, spans concatenate.  Snapshots are
+    plain dicts of primitives, safe to pickle across process pools.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[SpanEvent] = []
+        self.counters: dict[str, int] = {}
+
+    def emit_span(self, event: SpanEvent) -> None:
+        self.spans.append(event)
+
+    def emit_count(self, name: str, value: int) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.counters)
+
+    def snapshot(self) -> dict:
+        """Picklable value capturing everything collected so far."""
+        return {
+            "counters": dict(self.counters),
+            "spans": [e.as_dict() for e in self.spans],
+        }
+
+    def merge(self, other: Union["Collector", dict]) -> "Collector":
+        """Fold another collector (or a snapshot) into this one."""
+        snap = other.snapshot() if isinstance(other, Collector) else other
+        for event in snap.get("spans", ()):
+            self.emit_span(SpanEvent(**event))
+        for name, value in snap.get("counters", {}).items():
+            self.emit_count(name, value)
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "Collector":
+        return cls().merge(snapshot)
+
+
+class JsonlSink(Sink):
+    """Writes each event as one JSON line (``{"type": "span"|"count", ...}``).
+
+    Accepts a path (opened and owned, closed by :meth:`close` / context
+    exit) or an already-open text file object (borrowed, left open).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._file: IO[str] = target
+            self._owns = False
+        else:
+            self._file = open(target, "w")
+            self._owns = True
+
+    def emit_span(self, event: SpanEvent) -> None:
+        record = {"type": "span", **event.as_dict()}
+        self._file.write(json.dumps(record) + "\n")
+
+    def emit_count(self, name: str, value: int) -> None:
+        record = {"type": "count", "name": name, "value": value}
+        self._file.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TeeSink(Sink):
+    """Forwards every event to each of its child sinks, in order."""
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks = tuple(sinks)
+
+    def emit_span(self, event: SpanEvent) -> None:
+        for sink in self.sinks:
+            sink.emit_span(event)
+
+    def emit_count(self, name: str, value: int) -> None:
+        for sink in self.sinks:
+            sink.emit_count(name, value)
+
+
+def replay(path: Union[str, Path]) -> Collector:
+    """Rebuild a :class:`Collector` from a :class:`JsonlSink` trace file."""
+    collector = Collector()
+    with open(path) as f:
+        for line_no, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if kind == "span":
+                collector.emit_span(SpanEvent(**record))
+            elif kind == "count":
+                collector.emit_count(record["name"], record["value"])
+            else:
+                raise ValueError(f"{path}:{line_no}: unknown event {kind!r}")
+    return collector

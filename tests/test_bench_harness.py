@@ -44,6 +44,22 @@ class TestPoints:
         assert 0.0 <= point.accuracy <= 1.0
         assert {"stars", "star_ratio", "dropped", "backtracks"} <= set(point.extras)
 
+    def test_run_diva_point_collects_obs(self, relation, sigma):
+        point = run_diva_point(relation, sigma, 3, "maxfanout", collect_obs=True)
+        block = point.extras["obs"]
+        assert set(block) == {"spans", "counters"}
+        assert "diva.run" in block["spans"]
+        assert block["spans"]["diva.run"]["count"] == 1
+        assert block["counters"].get("graph.nodes", 0) >= 1
+        # The block is the JSON-ready summary form (plain primitives).
+        import json
+
+        json.dumps(block)
+
+    def test_run_diva_point_obs_off_by_default(self, relation, sigma):
+        point = run_diva_point(relation, sigma, 3, "maxfanout")
+        assert "obs" not in point.extras
+
     def test_run_baseline_point(self, relation):
         point = run_baseline_point(relation, 3, "mondrian")
         assert point.runtime > 0

@@ -121,7 +121,7 @@ class TestSearchMechanics:
         stats = result.stats.as_dict()
         assert set(stats) == {
             "nodes_expanded", "candidates_tried", "backtracks",
-            "consistency_checks",
+            "consistency_checks", "prunes",
         }
 
     def test_budget_exceeded_raises(self, paper_relation, paper_constraints):

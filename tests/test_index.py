@@ -59,6 +59,18 @@ class TestBackendFlag:
         with pytest.raises(ValueError, match="unknown kernel backend"):
             set_kernel_backend("turbo")
 
+    def test_rejected_backend_leaves_state_unchanged(self):
+        """Regression: a rejected name must not clobber the active backend
+        (only the env-var path warns and falls back; the API raises)."""
+        before = kernel_backend()
+        with pytest.raises(ValueError):
+            set_kernel_backend("turbo")
+        assert kernel_backend() == before
+        with pytest.raises(ValueError):
+            with use_kernel_backend("turbo"):
+                raise AssertionError("unreachable: body must not run")
+        assert kernel_backend() == before
+
 
 class TestIndexConstruction:
     def test_cached_on_relation(self, relation):
@@ -166,6 +178,28 @@ class TestKernels:
         with use_kernel_backend("reference"):
             ref = preserved_count(relation, clustering, sigma)
         assert preserved_count(relation, clustering, sigma) == ref == 2
+
+    def test_cache_stats_count_hits_and_misses(self, relation):
+        index = RelationIndex(relation)
+        sigma = DiversityConstraint("ETH", "Asian", 1, 3)
+        cluster = frozenset({0, 1})
+        assert index.cache_stats() == {
+            "cluster_cache_hits": 0,
+            "cluster_cache_misses": 0,
+        }
+        index.preserved_count(cluster, sigma)   # miss
+        index.preserved_count(cluster, sigma)   # hit
+        index.cluster_cost(cluster)             # miss
+        index.cluster_cost(cluster)             # hit
+        assert index.cache_stats() == {
+            "cluster_cache_hits": 2,
+            "cluster_cache_misses": 2,
+        }
+        # Batched paths tally too: one hit (cached cluster) + one miss.
+        index.preserved_count_many((cluster, frozenset({2, 5})), sigma)
+        stats = index.cache_stats()
+        assert stats["cluster_cache_hits"] == 3
+        assert stats["cluster_cache_misses"] == 3
 
     def test_direct_construction(self, relation):
         # RelationIndex is usable standalone, without the get_index cache.

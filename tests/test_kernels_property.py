@@ -11,6 +11,8 @@ end-to-end candidate enumeration and coloring runs.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.anonymize import make_anonymizer
+from repro.anonymize.kmember import KMemberAnonymizer
 from repro.core.clusterings import (
     _nearest_by_hamming,
     cluster_suppression_cost_reference,
@@ -271,3 +273,77 @@ class TestEndToEndEquivalence:
         assert vec.edges == ref.edges
         for i, j in vec.edges:
             assert vec.overlap(i, j) == ref.overlap(i, j)
+
+class TestKMemberLeftovers:
+    """Leftover assignment at cluster-boundary sizes (n % k ∈ {0, 1, k-1}).
+
+    ``KMemberAnonymizer._assign_leftovers`` scores every leftover against
+    all clusters in one broadcasted pass and updates only the chosen
+    cluster's uniform mask incrementally; the reference here recomputes
+    each cluster's mask from scratch per assignment.  The two must agree
+    exactly — including ``argmin`` tie-breaking — on any matrix.
+    """
+
+    @staticmethod
+    def _assign_naive(matrix, clusters_rows, leftovers):
+        clusters = [list(r) for r in clusters_rows]
+        for row in leftovers:
+            costs = []
+            for member_rows in clusters:
+                profile = matrix[member_rows[0]]
+                uniform = (matrix[member_rows] == profile).all(axis=0)
+                diffs = (profile != matrix[row]) & uniform
+                costs.append(int(diffs.sum()) * (len(member_rows) + 1))
+            clusters[int(np.argmin(costs))].append(int(row))
+        return clusters
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_mask_matches_recompute(self, data):
+        k = data.draw(st.integers(2, 4), label="k")
+        n_clusters = data.draw(st.integers(1, 4), label="n_clusters")
+        residue = data.draw(st.sampled_from([0, 1, k - 1]), label="n mod k")
+        n_cols = data.draw(st.integers(1, 5), label="n_cols")
+        n = n_clusters * k + residue
+        matrix = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(
+                        st.integers(0, 2), min_size=n_cols, max_size=n_cols
+                    ),
+                    min_size=n,
+                    max_size=n,
+                ),
+                label="matrix",
+            ),
+            dtype=np.int32,
+        )
+        clusters_rows = [
+            list(range(i * k, (i + 1) * k)) for i in range(n_clusters)
+        ]
+        leftovers = np.arange(n_clusters * k, n)
+        expected = self._assign_naive(matrix, clusters_rows, leftovers)
+        actual = [list(r) for r in clusters_rows]
+        KMemberAnonymizer._assign_leftovers(matrix, actual, leftovers)
+        assert actual == expected
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_partition_invariants_at_boundaries(self, data):
+        k = data.draw(st.integers(2, 4), label="k")
+        residue = data.draw(st.sampled_from([0, 1, k - 1]), label="n mod k")
+        blocks = data.draw(st.integers(1, 3), label="n // k")
+        n = blocks * k + residue
+        rows_data = data.draw(
+            st.lists(rows, min_size=n, max_size=n), label="rows"
+        )
+        relation = Relation(SCHEMA, rows_data)
+        anonymizer = make_anonymizer("k-member", np.random.default_rng(5))
+        clusters = anonymizer.cluster(relation, k)
+        # Exactly ⌊n/k⌋ clusters that disjointly cover R, each of size ≥ k
+        # (the final ones absorb the n mod k leftovers).
+        assert len(clusters) == n // k
+        covered = [tid for cluster in clusters for tid in cluster]
+        assert len(covered) == n
+        assert set(covered) == set(relation.tids)
+        assert all(len(cluster) >= k for cluster in clusters)
