@@ -6,6 +6,8 @@ Commands:
 * ``check`` — validate an anonymized CSV against k and a constraint file.
 * ``dataset`` — generate one of the evaluation datasets as CSV.
 * ``bench`` — regenerate one paper artifact and print its series.
+* ``stream`` — replay a CSV as timed micro-batches through the streaming
+  engine, writing every published release.
 
 Constraint files are plain text, one constraint per line in the paper's
 notation (``ETH[Asian], 2, 5``); blank lines and ``#`` comments allowed.
@@ -103,12 +105,22 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(f"OK: {args.k}-anonymous")
     if args.constraints:
         constraints = load_constraint_file(args.constraints)
-        for verdict in check_diversity(relation, constraints):
+        verdicts = check_diversity(relation, constraints)
+        for verdict in verdicts:
+            sigma = verdict.constraint
             status = "OK" if verdict.satisfied else "FAIL"
-            print(
-                f"{status}: {verdict.constraint!r} count={verdict.count}"
+            line = (
+                f"{status}: {sigma!r} count={verdict.count} "
+                f"range=[{sigma.lower}, {sigma.upper}]"
             )
+            if verdict.shortfall:
+                line += f" shortfall={verdict.shortfall}"
+            if verdict.overage:
+                line += f" overage={verdict.overage}"
+            print(line)
             ok = ok and verdict.satisfied
+        violated = sum(1 for v in verdicts if not v.satisfied)
+        print(f"constraints violated: {violated} of {len(verdicts)}")
     if args.original:
         original = load_relation(args.original)
         problem = KSigmaProblem(
@@ -132,6 +144,88 @@ def cmd_dataset(args: argparse.Namespace) -> int:
         f"n={len(relation.schema)} |ΠQI|={relation.distinct_projection_size()}"
     )
     return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a CSV as micro-batches through the streaming engine.
+
+    Tuples are fed in storage order, ``--batch-size`` at a time (with an
+    optional ``--interval`` sleep between batches to simulate timed
+    arrivals).  Each published release is written to
+    ``<outdir>/release_NNNN.csv`` with its schema sidecar; the buffer is
+    flushed at end-of-stream.
+    """
+    import time
+
+    from .stream import StreamingAnonymizer
+
+    relation = load_relation(args.input)
+    constraints = (
+        load_constraint_file(args.constraints)
+        if args.constraints
+        else ConstraintSet()
+    )
+    engine = StreamingAnonymizer(
+        relation.schema,
+        constraints,
+        args.k,
+        strategy=args.strategy,
+        anonymizer=args.anonymizer,
+        bootstrap=args.bootstrap,
+        max_deferrals=args.max_deferrals,
+        seed=args.seed,
+    )
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    collector = obs.Collector() if args.stats else None
+
+    def write_release(release, elapsed: float) -> None:
+        path = outdir / f"release_{release.sequence:04d}.csv"
+        save_relation(release.relation, path)
+        print(
+            f"release {release.sequence} [{release.mode}] |R|={release.size} "
+            f"+{release.admitted} (extended={release.extended}, "
+            f"recomputed={release.recomputed}) stars={release.stars} "
+            f"pending={release.pending} ({elapsed:.3f}s) -> {path}"
+        )
+
+    rows = [row for _, row in relation]
+    with obs.use_sink(collector) if collector is not None else _null_context():
+        for start in range(0, len(rows), args.batch_size):
+            if start and args.interval:
+                time.sleep(args.interval)
+            began = time.perf_counter()
+            release = engine.ingest(rows[start:start + args.batch_size])
+            if release is not None:
+                write_release(release, time.perf_counter() - began)
+        began = time.perf_counter()
+        final = engine.flush()
+        if final is not None:
+            write_release(final, time.perf_counter() - began)
+
+    stats = engine.stats
+    print(
+        f"stream done: {stats.releases} release(s) from {stats.batches} "
+        f"batch(es), {stats.tuples_ingested} tuple(s) "
+        f"({stats.tuples_extended} extended, {stats.tuples_recomputed} "
+        f"recomputed; extend ratio {stats.extend_ratio:.1%}), "
+        f"{stats.scoped_recomputes} scoped / {stats.full_recomputes} full "
+        f"recompute(s)"
+    )
+    if engine.pending_count:
+        print(
+            f"warning: {engine.pending_count} tuple(s) could not be "
+            "published (stream infeasible or below k)"
+        )
+    if args.stats:
+        print(obs.render(obs.summarize(collector)))
+    return 0 if stats.releases else 1
+
+
+def _null_context():
+    import contextlib
+
+    return contextlib.nullcontext()
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -208,6 +302,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_dataset)
+
+    p = sub.add_parser(
+        "stream", help="replay a CSV as micro-batches through the streaming engine"
+    )
+    p.add_argument("input", help="input CSV (with .schema.json sidecar)")
+    p.add_argument("outdir", help="directory for release_NNNN.csv outputs")
+    p.add_argument("-k", type=int, required=True, help="privacy parameter k")
+    p.add_argument("-c", "--constraints", help="diversity constraints file")
+    p.add_argument(
+        "--batch-size", type=int, default=100,
+        help="tuples per micro-batch (default 100)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.0,
+        help="seconds to sleep between batches (timed replay)",
+    )
+    p.add_argument(
+        "--bootstrap", type=int, default=None,
+        help="buffered tuples required before the first release (default k)",
+    )
+    p.add_argument(
+        "--max-deferrals", type=int, default=2,
+        help="publishes a stranded sub-k residual may wait before a full recompute",
+    )
+    p.add_argument(
+        "--strategy", default="maxfanout",
+        choices=["basic", "minchoice", "maxfanout"],
+    )
+    p.add_argument("--anonymizer", default="k-member")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print stream span timings and stream.* counters",
+    )
+    p.set_defaults(fn=cmd_stream)
 
     p = sub.add_parser("bench", help="regenerate one paper artifact")
     p.add_argument(

@@ -431,6 +431,38 @@ class Relation:
             self._tids + other._tids,
         )
 
+    def concat(self, other: "Relation", *, renumber: bool = False) -> "Relation":
+        """Append ``other``'s tuples after this relation's (arrival order).
+
+        The streaming engine's buffer primitive: schema-checked, returns a
+        new relation (both inputs untouched), and cell values — including
+        ``STAR`` sentinels — are carried over verbatim.  Unlike
+        :meth:`union`, which models a partition of one original relation,
+        ``concat`` models *arrival*: storage order is preserved (``self``'s
+        rows first) and ``renumber=True`` reassigns ``other``'s tids to
+        fresh ids past ``max(self.tids)`` so independently-built batches can
+        be appended without tid coordination.  Without ``renumber``, tid
+        overlap is an error.
+        """
+        if self._schema != other._schema:
+            raise ValueError("cannot concat relations with different schemas")
+        if renumber:
+            start = max(self._tids, default=-1) + 1
+            other_tids = list(range(start, start + len(other)))
+        else:
+            other_tids = list(other._tids)
+            overlap = set(self._tid_index) & set(other._tid_index)
+            if overlap:
+                raise ValueError(
+                    f"tid overlap in concat: {sorted(overlap)[:5]} (pass "
+                    "renumber=True to assign fresh tids)"
+                )
+        return Relation(
+            self._schema,
+            self._rows + other._rows,
+            self._tids + other_tids,
+        )
+
     def replace_rows(self, replacements: Mapping[int, Sequence[Any]]) -> "Relation":
         """New relation with the rows of the given tids replaced."""
         rows = []

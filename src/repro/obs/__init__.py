@@ -51,7 +51,18 @@ from .names import (  # noqa: F401
     SPAN_INTEGRATE,
     SPAN_KMEMBER_CLUSTER,
     SPAN_REFINE,
+    SPAN_STREAM_EXTEND,
+    SPAN_STREAM_INGEST,
+    SPAN_STREAM_PUBLISH,
+    SPAN_STREAM_RECOMPUTE,
     SPAN_SUPPRESS,
+    STREAM_BATCHES_INGESTED,
+    STREAM_RECOMPUTES_FULL,
+    STREAM_RECOMPUTES_SCOPED,
+    STREAM_RELEASES_PUBLISHED,
+    STREAM_TUPLES_EXTENDED,
+    STREAM_TUPLES_INGESTED,
+    STREAM_TUPLES_RECOMPUTED,
     SUPPRESS_CELLS_STARRED,
 )
 from .report import render, summarize

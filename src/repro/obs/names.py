@@ -37,6 +37,22 @@ DIVA_CONSTRAINTS_DROPPED = "diva.constraints_dropped"
 KMEMBER_CLUSTERS = "kmember.clusters"
 KMEMBER_LEFTOVERS = "kmember.leftovers"
 
+#: Streaming engine: arrival volume (batches / tuples accepted by ingest).
+STREAM_BATCHES_INGESTED = "stream.batches_ingested"
+STREAM_TUPLES_INGESTED = "stream.tuples_ingested"
+
+#: Streaming engine: how admitted tuples reached the release — extended
+#: into an existing QI-group vs. (re)clustered by a scoped or full DIVA
+#: recompute.  ``extended / (extended + recomputed)`` is the extend ratio.
+STREAM_TUPLES_EXTENDED = "stream.tuples_extended"
+STREAM_TUPLES_RECOMPUTED = "stream.tuples_recomputed"
+
+#: Streaming engine: recompute fallbacks taken (scoped = residuals only,
+#: full = entire history re-anonymized) and releases published.
+STREAM_RECOMPUTES_SCOPED = "stream.recomputes_scoped"
+STREAM_RECOMPUTES_FULL = "stream.recomputes_full"
+STREAM_RELEASES_PUBLISHED = "stream.releases_published"
+
 ALL_COUNTERS = (
     GRAPH_NODES,
     GRAPH_EDGES,
@@ -51,6 +67,13 @@ ALL_COUNTERS = (
     DIVA_CONSTRAINTS_DROPPED,
     KMEMBER_CLUSTERS,
     KMEMBER_LEFTOVERS,
+    STREAM_BATCHES_INGESTED,
+    STREAM_TUPLES_INGESTED,
+    STREAM_TUPLES_EXTENDED,
+    STREAM_TUPLES_RECOMPUTED,
+    STREAM_RECOMPUTES_SCOPED,
+    STREAM_RECOMPUTES_FULL,
+    STREAM_RELEASES_PUBLISHED,
 )
 
 # -- spans ---------------------------------------------------------------------
@@ -66,6 +89,13 @@ SPAN_COLORING_SEARCH = "coloring.search"
 SPAN_ENUMERATE_CANDIDATES = "coloring.enumerate_candidates"
 SPAN_KMEMBER_CLUSTER = "kmember.cluster"
 
+#: Streaming engine: one ingest call; one publish (release computation +
+#: validation); the extend attempt and the recompute fallback inside it.
+SPAN_STREAM_INGEST = "stream.ingest"
+SPAN_STREAM_PUBLISH = "stream.publish"
+SPAN_STREAM_EXTEND = "stream.extend"
+SPAN_STREAM_RECOMPUTE = "stream.recompute"
+
 ALL_SPANS = (
     SPAN_DIVA_RUN,
     SPAN_DIVERSE_CLUSTERING,
@@ -77,4 +107,8 @@ ALL_SPANS = (
     SPAN_COLORING_SEARCH,
     SPAN_ENUMERATE_CANDIDATES,
     SPAN_KMEMBER_CLUSTER,
+    SPAN_STREAM_INGEST,
+    SPAN_STREAM_PUBLISH,
+    SPAN_STREAM_EXTEND,
+    SPAN_STREAM_RECOMPUTE,
 )

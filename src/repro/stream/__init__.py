@@ -1,0 +1,42 @@
+"""``repro.stream`` — incremental (k, Σ)-anonymization of tuple streams.
+
+The paper's DIVA anonymizes a static relation; this package maintains a
+published (k, Σ)-anonymous release while tuples keep arriving in
+micro-batches, extending the existing QI-groups where arrivals fit and
+falling back to scoped or full DIVA recomputes only when it must (see
+:mod:`repro.stream.engine` for the decision rule).  Every release is
+re-validated against the full contract before it becomes visible.
+
+Typical use::
+
+    from repro.stream import StreamingAnonymizer
+
+    engine = StreamingAnonymizer(schema, sigma, k=5)
+    for batch in arrivals:                # iterables of rows, or Relations
+        release = engine.ingest(batch)    # None while buffering
+        if release is not None:
+            publish(release.relation)
+    final = engine.flush()
+"""
+
+from .admission import AdmissionState, residual_constraints  # noqa: F401
+from .engine import StreamingAnonymizer, StreamStats  # noqa: F401
+from .ledger import (  # noqa: F401
+    Release,
+    ReleaseLedger,
+    ReleaseStamp,
+    ReleaseValidationError,
+    validate_release,
+)
+
+__all__ = [
+    "AdmissionState",
+    "Release",
+    "ReleaseLedger",
+    "ReleaseStamp",
+    "ReleaseValidationError",
+    "StreamStats",
+    "StreamingAnonymizer",
+    "residual_constraints",
+    "validate_release",
+]

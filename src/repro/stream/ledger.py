@@ -1,0 +1,175 @@
+"""The release ledger: validated history of published anonymized releases.
+
+The streaming engine never exposes a relation that has not passed through
+:meth:`ReleaseLedger.publish`, which re-validates the full (k, Σ) contract
+— :func:`repro.metrics.stats.is_k_anonymous` plus per-constraint
+:func:`repro.metrics.diversity_check.check_diversity` verdicts — before
+recording it.  Admission checks and scoped recomputes are *predictions*;
+the ledger is the enforcement point, so a bug upstream surfaces as a
+:class:`ReleaseValidationError` instead of a silently-broken publication.
+
+The ledger keeps the full :class:`Release` (with its relation) only for the
+current head; earlier releases are retained as lightweight
+:class:`ReleaseStamp` metadata so a long-running stream does not accumulate
+every historical relation in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.constraints import ConstraintSet
+from ..data.relation import Relation
+from ..metrics.diversity_check import check_diversity
+from ..metrics.stats import is_k_anonymous
+
+
+class ReleaseValidationError(RuntimeError):
+    """A candidate release failed the (k, Σ) contract at publish time."""
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        #: ``[(constraint, observed count), ...]`` for Σ failures, empty
+        #: when the failure is k-anonymity.
+        self.violations = list(violations)
+
+
+def validate_release(
+    relation: Relation, k: int, constraints: ConstraintSet
+) -> None:
+    """Raise :class:`ReleaseValidationError` unless ``relation |= (k, Σ)``."""
+    if not is_k_anonymous(relation, k):
+        raise ReleaseValidationError(
+            f"candidate release is not {k}-anonymous"
+        )
+    bad = [
+        (v.constraint, v.count)
+        for v in check_diversity(relation, constraints)
+        if not v.satisfied
+    ]
+    if bad:
+        detail = "; ".join(f"{c!r} count={n}" for c, n in bad)
+        raise ReleaseValidationError(
+            f"candidate release violates Σ: {detail}", violations=bad
+        )
+
+
+@dataclass(frozen=True)
+class Release:
+    """One validated publication of the stream."""
+
+    sequence: int
+    relation: Relation
+    #: How this release was produced: ``bootstrap`` (first full DIVA run),
+    #: ``extend`` (incremental admission only), ``scoped`` (extension plus
+    #: a DIVA run over residuals with residual bounds), or ``full``
+    #: (complete re-anonymization of the history).
+    mode: str
+    admitted: int  #: tuples newly published by this release
+    extended: int  #: of those, placed by incremental admission
+    recomputed: int  #: of those, (re)clustered by a DIVA run
+    pending: int  #: tuples still buffered after this release
+    stars: int  #: total suppressed cells in the release
+
+    @property
+    def size(self) -> int:
+        return len(self.relation)
+
+
+@dataclass(frozen=True)
+class ReleaseStamp:
+    """Metadata-only record of a past release (the relation is dropped)."""
+
+    sequence: int
+    mode: str
+    size: int
+    admitted: int
+    extended: int
+    recomputed: int
+    pending: int
+    stars: int
+
+
+class ReleaseLedger:
+    """Validates and records releases; owns the admitted original tuples.
+
+    ``original`` is the concatenation, in admission order, of every tuple
+    ever published, with its *original* values — the input a full DIVA
+    recompute re-anonymizes.  ``current`` is the head release; ``stamps``
+    the metadata trail of every publication including the head.
+    """
+
+    def __init__(self, k: int, constraints: ConstraintSet):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.constraints = constraints
+        self._original: Optional[Relation] = None
+        self._current: Optional[Release] = None
+        self._stamps: list[ReleaseStamp] = []
+
+    @property
+    def current(self) -> Optional[Release]:
+        return self._current
+
+    @property
+    def original(self) -> Optional[Relation]:
+        return self._original
+
+    @property
+    def stamps(self) -> tuple[ReleaseStamp, ...]:
+        return tuple(self._stamps)
+
+    @property
+    def sequence(self) -> int:
+        """Sequence number of the head release (0 before any publish)."""
+        return self._stamps[-1].sequence if self._stamps else 0
+
+    def publish(
+        self,
+        relation: Relation,
+        original: Relation,
+        mode: str,
+        *,
+        extended: int = 0,
+        recomputed: int = 0,
+        pending: int = 0,
+    ) -> Release:
+        """Validate a candidate release and make it the head.
+
+        ``relation`` is the anonymized candidate, ``original`` the matching
+        original-valued history (same tids).  Raises
+        :class:`ReleaseValidationError` — and records nothing — when the
+        candidate breaks the contract.
+        """
+        validate_release(relation, self.k, self.constraints)
+        if set(relation.tids) != set(original.tids):
+            raise ReleaseValidationError(
+                "release does not cover the admitted tuples exactly"
+            )
+        release = Release(
+            sequence=self.sequence + 1,
+            relation=relation,
+            mode=mode,
+            admitted=extended + recomputed,
+            extended=extended,
+            recomputed=recomputed,
+            pending=pending,
+            stars=relation.star_count(),
+        )
+        self._original = original
+        self._current = release
+        self._stamps.append(
+            ReleaseStamp(
+                sequence=release.sequence,
+                mode=mode,
+                size=release.size,
+                admitted=release.admitted,
+                extended=extended,
+                recomputed=recomputed,
+                pending=pending,
+                stars=release.stars,
+            )
+        )
+        return release

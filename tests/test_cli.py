@@ -165,6 +165,89 @@ class TestCheck:
         assert rc == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_reports_per_constraint_counts(
+        self, csv_relation, constraints_file, tmp_path, capsys
+    ):
+        out = tmp_path / "out.csv"
+        main(
+            [
+                "anonymize", str(csv_relation), str(out),
+                "-k", "2", "-c", str(constraints_file),
+            ]
+        )
+        rc = main(["check", str(out), "-k", "2", "-c", str(constraints_file)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        # One count line per constraint, not just a boolean verdict.
+        assert "OK: (ETH[Asian], 2, 5) count=" in printed
+        assert "range=[2, 5]" in printed
+        assert "constraints violated: 0 of 3" in printed
+
+    def test_violating_input_exits_nonzero_with_counts(
+        self, csv_relation, tmp_path, capsys
+    ):
+        # The raw running example is 2-anonymous nowhere and has 3 Asians —
+        # a [4, 9] lower bound is violated by count, not just k.
+        sigma_path = tmp_path / "strict.txt"
+        sigma_path.write_text("ETH[Asian], 4, 9\n")
+        rc = main(["check", str(csv_relation), "-k", "1", "-c", str(sigma_path)])
+        assert rc == 1
+        printed = capsys.readouterr().out
+        assert "FAIL: (ETH[Asian], 4, 9) count=3" in printed
+        assert "shortfall=1" in printed
+        assert "constraints violated: 1 of 1" in printed
+
+
+class TestStream:
+    def test_end_to_end_writes_releases(
+        self, csv_relation, constraints_file, tmp_path, capsys
+    ):
+        outdir = tmp_path / "releases"
+        rc = main(
+            [
+                "stream", str(csv_relation), str(outdir),
+                "-k", "2", "-c", str(constraints_file),
+                "--batch-size", "3",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "stream done:" in printed
+        written = sorted(outdir.glob("release_*.csv"))
+        assert written, "no releases written"
+        # The last release is the head: full history, valid under (k, Σ).
+        final = load_relation(written[-1])
+        assert len(final) == 10
+        assert is_k_anonymous(final, 2)
+        assert load_constraint_file(constraints_file).is_satisfied_by(final)
+
+    def test_stats_flag_prints_stream_counters(
+        self, csv_relation, constraints_file, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "stream", str(csv_relation), str(tmp_path / "rel"),
+                "-k", "2", "-c", str(constraints_file),
+                "--batch-size", "5", "--stats",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "stream.ingest" in printed
+        assert "stream.batches_ingested" in printed
+
+    def test_nothing_publishable_exits_nonzero(self, tmp_path, capsys):
+        # One lone tuple can never be 2-anonymous: no release, rc 1.
+        from repro.data.relation import Relation, Schema
+
+        schema = Schema.from_names(qi=["A"], sensitive=["S"])
+        path = tmp_path / "lone.csv"
+        save_relation(Relation(schema, [("a", "s")]), path)
+        rc = main(["stream", str(path), str(tmp_path / "rel"), "-k", "2"])
+        assert rc == 1
+        printed = capsys.readouterr().out
+        assert "could not be published" in printed
+
 
 class TestDataset:
     def test_generate(self, tmp_path, capsys):

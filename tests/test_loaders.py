@@ -84,6 +84,46 @@ class TestCsvRoundTrip:
         assert loaded.value(1, "V") == 2
 
 
+class TestConcatRoundTrip:
+    """Persisting a concatenated stream history must lose nothing."""
+
+    def test_concat_then_round_trip(self, paper_relation, tmp_path):
+        head = paper_relation.restrict(set(paper_relation.tids[:6]))
+        tail = paper_relation.restrict(set(paper_relation.tids[6:]))
+        joined = head.concat(tail)
+        path = tmp_path / "joined.csv"
+        save_relation(joined, path)
+        loaded = load_relation(path)
+        assert loaded == paper_relation
+        assert loaded.tids == joined.tids
+
+    def test_concat_with_suppressed_cells(self, paper_relation, tmp_path):
+        # A published release concatenated with a scoped-recompute result:
+        # both sides carry STARs, which must survive save/load verbatim.
+        head = paper_relation.restrict(set(paper_relation.tids[:5]))
+        head = head.suppress_values([(head.tids[0], "AGE")])
+        tail = paper_relation.restrict(set(paper_relation.tids[5:]))
+        tail = tail.suppress_values([(tail.tids[-1], "GEN")])
+        joined = head.concat(tail)
+        path = tmp_path / "starred.csv"
+        save_relation(joined, path)
+        loaded = load_relation(path)
+        assert loaded == joined
+        assert loaded.value(head.tids[0], "AGE") is STAR
+        assert loaded.value(tail.tids[-1], "GEN") is STAR
+        assert loaded.star_count() == 2
+
+    def test_renumbered_concat_round_trip(self, paper_relation, tmp_path):
+        batch = paper_relation.restrict(set(paper_relation.tids[:3]))
+        joined = paper_relation.concat(batch, renumber=True)
+        path = tmp_path / "renumbered.csv"
+        save_relation(joined, path)
+        loaded = load_relation(path)
+        assert loaded == joined
+        assert loaded.tids == joined.tids
+        assert len(loaded) == len(paper_relation) + 3
+
+
 class TestUnicode:
     def test_unicode_values_round_trip(self, tmp_path):
         from repro.data.relation import Relation

@@ -402,6 +402,13 @@ class TestTaxonomy:
             "diva.constraints_dropped",
             "kmember.clusters",
             "kmember.leftovers",
+            "stream.batches_ingested",
+            "stream.tuples_ingested",
+            "stream.tuples_extended",
+            "stream.tuples_recomputed",
+            "stream.recomputes_scoped",
+            "stream.recomputes_full",
+            "stream.releases_published",
         }
 
     def test_span_names_pinned(self):
@@ -416,6 +423,10 @@ class TestTaxonomy:
             "coloring.search",
             "coloring.enumerate_candidates",
             "kmember.cluster",
+            "stream.ingest",
+            "stream.publish",
+            "stream.extend",
+            "stream.recompute",
         }
 
     def test_pipeline_emits_only_taxonomy_names(self, paper_relation,

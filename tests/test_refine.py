@@ -1,9 +1,12 @@
 """Tests for the suppression-minimality refinement pass."""
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
-from repro.core.constraints import ConstraintSet
+from repro.core.constraints import ConstraintSet, DiversityConstraint
 from repro.core.diva import run_diva
+from repro.core.index import use_kernel_backend
 from repro.core.refine import refine_clusters, refine_result
 from repro.core.suppress import suppress
 from repro.data.datasets import make_popsyn
@@ -118,6 +121,60 @@ class TestRefineResult:
             refined, saved = refine_result(result, paper_relation, k=2)
             assert saved == 0
             assert refined == result.relation
+
+
+@st.composite
+def refine_instance(draw):
+    """A small relation plus a data-anchored Σ that DIVA can satisfy."""
+    n = draw(st.integers(min_value=4, max_value=16))
+    rows = [
+        (
+            draw(st.sampled_from(("a1", "a2", "a3"))),
+            draw(st.sampled_from(("b1", "b2"))),
+            draw(st.sampled_from(("s1", "s2"))),
+        )
+        for _ in range(n)
+    ]
+    return rows
+
+
+class TestRefineResultProperty:
+    """refine_result's contract, property-checked on both kernel backends.
+
+    For any instance: refinement never *increases* the suppression cost,
+    never breaks k-anonymity, and never un-satisfies a constraint the DIVA
+    run satisfied — and the reference and vectorized backends agree on the
+    refined relation.
+    """
+
+    @given(refine_instance())
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_refine_never_regresses(self, rows):
+        schema = Schema.from_names(qi=["A", "B"], sensitive=["S"])
+        relation = Relation(schema, rows)
+        k = 2
+        value, c = relation.value_counts("A").most_common(1)[0]
+        assume(c >= k)
+        constraints = ConstraintSet([DiversityConstraint("A", value, 2, c)])
+
+        outcomes = []
+        for backend in ("reference", "vectorized"):
+            with use_kernel_backend(backend):
+                result = run_diva(
+                    relation, constraints, k, best_effort=True, seed=0
+                )
+                refined, saved = refine_result(result, relation, k=k)
+                assert saved >= 0
+                assert (
+                    refined.star_count()
+                    == result.relation.star_count() - saved
+                )
+                assert is_k_anonymous(refined, k)
+                assert generalizes(relation, refined)
+                assert ConstraintSet(result.satisfied).is_satisfied_by(refined)
+                outcomes.append((refined, saved))
+        assert outcomes[0][0] == outcomes[1][0]
+        assert outcomes[0][1] == outcomes[1][1]
 
 
 class TestDivaRefineOption:

@@ -203,6 +203,45 @@ class TestRelationOps:
         with pytest.raises(ValueError, match="schema"):
             tiny_relation.union(other)
 
+    def test_concat_preserves_arrival_order(self, tiny_relation):
+        head = tiny_relation.restrict({0, 1, 2})
+        tail = tiny_relation.restrict({3, 4, 5})
+        joined = head.concat(tail)
+        assert joined.tids == (0, 1, 2, 3, 4, 5)
+        assert joined == tiny_relation
+        # Both inputs untouched.
+        assert set(head.tids) == {0, 1, 2}
+        assert set(tail.tids) == {3, 4, 5}
+
+    def test_concat_renumber(self, tiny_relation):
+        batch = tiny_relation.restrict({0, 1})  # tids collide with self
+        joined = tiny_relation.concat(batch, renumber=True)
+        assert joined.tids == (0, 1, 2, 3, 4, 5, 6, 7)
+        assert joined.row(6) == tiny_relation.row(0)
+
+    def test_concat_overlap_rejected(self, tiny_relation):
+        with pytest.raises(ValueError, match="renumber"):
+            tiny_relation.concat(tiny_relation.restrict({0}))
+
+    def test_concat_schema_mismatch(self, tiny_relation):
+        other_schema = Schema.from_names(qi=["A", "B", "S"])
+        other = Relation(other_schema, [], tids=[])
+        with pytest.raises(ValueError, match="schema"):
+            tiny_relation.concat(other)
+
+    def test_concat_carries_stars_verbatim(self, tiny_relation):
+        starred = tiny_relation.restrict({0, 1}).suppress_values([(0, "A")])
+        joined = tiny_relation.restrict({2, 3}).concat(starred)
+        assert joined.value(0, "A") is STAR
+        assert joined.row(1) == tiny_relation.row(1)
+
+    def test_concat_empty_batch(self, tiny_relation):
+        empty = Relation(tiny_relation.schema, [], tids=[])
+        assert tiny_relation.concat(empty) == tiny_relation
+        assert empty.concat(tiny_relation, renumber=True).tids == (
+            0, 1, 2, 3, 4, 5
+        )
+
     def test_replace_rows(self, tiny_relation):
         new = tiny_relation.replace_rows({0: ("zz", "b1", "s1")})
         assert new.row(0) == ("zz", "b1", "s1")
