@@ -63,11 +63,15 @@ def run_diva_point(
     max_steps: Optional[int] = 200_000,
     n_trials: int = 1,
     collect_obs: bool = False,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> SeriesPoint:
     """Run DIVA once (or averaged over trials) and measure the output.
 
     Best-effort mode is used so infeasible Σ produce a degraded-accuracy
     point (as in the paper's high-conflict sweeps) instead of aborting.
+    ``max_workers``/``executor`` configure the component-parallel
+    DiverseClustering runtime (``None`` = sequential), for scaling sweeps.
 
     ``collect_obs=True`` runs each trial under a fresh in-memory
     observability collector and embeds the summarized ``obs`` block
@@ -82,6 +86,8 @@ def run_diva_point(
             best_effort=True,
             max_steps=max_steps,
             seed=seed + trial,
+            max_workers=max_workers,
+            executor=executor,
         )
         if collect_obs:
             with obs.collecting() as collector:

@@ -59,6 +59,8 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         anonymizer=args.anonymizer,
         best_effort=args.best_effort,
         seed=args.seed,
+        max_workers=args.workers,
+        executor=args.executor,
     )
     collector = None
     if args.stats or args.trace:
@@ -174,6 +176,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
         bootstrap=args.bootstrap,
         max_deferrals=args.max_deferrals,
         seed=args.seed,
+        max_workers=args.workers,
+        executor=args.executor,
     )
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
@@ -280,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--best-effort", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--workers", type=int, default=None,
+        help="color constraint-graph components on a pool of this size",
+    )
+    p.add_argument(
+        "--executor", default="thread", choices=["thread", "process"],
+        help="pool flavor for --workers (process ships the relation via "
+        "shared memory)",
+    )
+    p.add_argument(
         "--stats", action="store_true",
         help="print per-phase span timings and search counters",
     )
@@ -332,6 +345,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--anonymizer", default="k-member")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for recompute runs (see anonymize --workers)",
+    )
+    p.add_argument(
+        "--executor", default="thread", choices=["thread", "process"],
+        help="pool flavor for --workers",
+    )
     p.add_argument(
         "--stats", action="store_true",
         help="print stream span timings and stream.* counters",

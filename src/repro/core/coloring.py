@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Optional
 
 import numpy as np
@@ -91,6 +92,20 @@ class SearchStats:
             "consistency_checks": self.consistency_checks,
             "prunes": self.prunes,
         }
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Fold another search's counters into this one (returns self).
+
+        Driven by :func:`dataclasses.fields` so a counter added to the
+        dataclass is merged automatically — ``tests/test_parallel.py``
+        asserts the field set stays in sync with :meth:`as_dict`.
+        """
+        for f in dataclass_fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __iadd__(self, other: "SearchStats") -> "SearchStats":
+        return self.merge(other)
 
 
 @dataclass

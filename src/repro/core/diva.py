@@ -125,6 +125,15 @@ class Diva:
         Anonymize-phase clusters after Integrate.
     seed:
         Seeds every random choice (strategies, anonymizers, sampling).
+    max_workers:
+        When set, DiverseClustering runs per connected component under the
+        cost-ordered scheduler of :mod:`repro.core.parallel` with a pool of
+        this size.  ``None`` (default) keeps the monolithic sequential
+        search.
+    executor:
+        Pool flavor for ``max_workers``: ``"thread"`` (default) or
+        ``"process"`` (ships the relation via shared memory; requires a
+        strategy *name*, not an instance).
     """
 
     def __init__(
@@ -136,7 +145,11 @@ class Diva:
         max_steps: Optional[int] = 100_000,
         refine: bool = False,
         seed: int = 0,
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
     ):
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
         self._strategy_spec = strategy
         self._anonymizer_spec = anonymizer
         self.best_effort = best_effort
@@ -144,6 +157,8 @@ class Diva:
         self.max_steps = max_steps
         self.refine = refine
         self.seed = seed
+        self.max_workers = max_workers
+        self.executor = executor
 
     def _fresh_rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
@@ -292,7 +307,21 @@ class Diva:
         """Run the coloring search, dropping constraints in best-effort mode.
 
         Returns ``(result_or_None, surviving_constraints, dropped)``.
+
+        With ``max_workers`` configured, the first (full-Σ) attempt runs
+        per connected component on the parallel scheduler.  Best-effort
+        constraint dropping needs the monolithic search's per-node
+        candidate counts to pick a victim, so on a failed parallel attempt
+        the drop loop below takes over sequentially — the parallel run
+        already established *that* Σ is infeasible; the loop decides
+        *what* to shed.
         """
+        if self.max_workers is not None and self.max_workers > 1:
+            result = self._parallel_attempt(relation, constraints, k, rng)
+            if result is not None and result.success:
+                return result, constraints, []
+            if not self.best_effort:
+                return None, constraints, []
         dropped: list[DiversityConstraint] = []
         active = constraints
         budget = self.max_steps
@@ -334,6 +363,36 @@ class Diva:
             if budget is not None:
                 budget = max(budget // 2, 2_000)
 
+    def _parallel_attempt(self, relation, constraints, k, rng):
+        """One component-parallel coloring pass; None means "try dropping".
+
+        Components draw from ``SeedSequence(self.seed)`` spawns rather
+        than the run's shared ``rng`` stream, so the outcome is a function
+        of (R, Σ, k, seed) alone — independent of executor flavor, worker
+        count and completion order.
+        """
+        from .parallel import component_coloring
+
+        strategy = self._strategy_spec
+        if not isinstance(strategy, str) and self.executor == "thread":
+            strategy = self._fresh_strategy(rng)
+        try:
+            return component_coloring(
+                relation,
+                constraints,
+                k,
+                strategy=strategy,
+                max_candidates=self.max_candidates,
+                max_steps=self.max_steps,
+                seed=self.seed,
+                max_workers=self.max_workers,
+                executor=self.executor,
+            )
+        except SearchBudgetExceeded:
+            if not self.best_effort:
+                raise
+            return None
+
     @staticmethod
     def _absorb_small_remainder(relation, clustering, rest, constraints):
         """Re-suppress with the < k leftover tuples folded into clusters.
@@ -374,6 +433,8 @@ def run_diva(
     max_steps: Optional[int] = 100_000,
     refine: bool = False,
     seed: int = 0,
+    max_workers: Optional[int] = None,
+    executor: str = "thread",
 ) -> DivaResult:
     """One-call convenience wrapper around :class:`Diva`."""
     solver = Diva(
@@ -384,5 +445,7 @@ def run_diva(
         max_steps=max_steps,
         refine=refine,
         seed=seed,
+        max_workers=max_workers,
+        executor=executor,
     )
     return solver.run(relation, constraints, k)

@@ -236,6 +236,51 @@ class RelationIndex:
         self._cost_hits = 0
         self._cost_misses = 0
 
+    @classmethod
+    def from_columnar(
+        cls,
+        relation: Relation,
+        codes: np.ndarray,
+        qi_codes: np.ndarray,
+        tids: np.ndarray,
+        codebooks: Sequence[dict],
+    ) -> "RelationIndex":
+        """Assemble an index from prebuilt columnar artifacts.
+
+        The shared-memory transport (:mod:`repro.core.shm`) uses this to
+        reconstruct the parent's index inside a worker without
+        re-factorizing: ``codes``/``qi_codes``/``tids`` are zero-copy views
+        over shared segments (read-only), ``codebooks`` the parent's
+        value → code maps.  Only the small Python-side row addressing is
+        rebuilt; memo caches start empty and warm across the worker's
+        tasks.
+        """
+        self = cls.__new__(cls)
+        schema = relation.schema
+        self.relation = relation
+        self.schema = schema
+        n = codes.shape[0]
+        self.tids = tids
+        self._tid_to_row = {int(tid): i for i, tid in enumerate(tids)}
+        self._dense_tids = bool(n == 0 or (tids == np.arange(n)).all())
+        self.codes = codes
+        self.codebooks = list(codebooks)
+        self.qi_positions = np.fromiter(
+            (schema.position(a) for a in schema.qi_names),
+            dtype=np.intp,
+            count=len(schema.qi_names),
+        )
+        self.qi_codes = qi_codes
+        self._artifacts = {}
+        self._rows_cache = {}
+        self._pc_cache = {}
+        self._cost_cache = {}
+        self._pc_hits = 0
+        self._pc_misses = 0
+        self._cost_hits = 0
+        self._cost_misses = 0
+        return self
+
     def __len__(self) -> int:
         return self.codes.shape[0]
 

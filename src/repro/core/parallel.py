@@ -8,17 +8,54 @@ independently — the decomposition behind the distributed coloring the paper
 proposes as future work.
 
 ``component_coloring`` colors each component with its own
-:class:`~repro.core.coloring.ColoringSearch` (optionally on a thread pool;
-the searches are independent, so correctness does not depend on the executor)
-and merges the per-component clusterings.  Results are identical to the
-monolithic search's feasibility: a coloring exists iff one exists per
-component.
+:class:`~repro.core.coloring.ColoringSearch` and merges the per-component
+clusterings.  Results are identical to the monolithic search's feasibility:
+a coloring exists iff one exists per component.
+
+Scale-out runtime
+-----------------
+With ``max_workers > 1`` the components run on a pool under a cost-ordered
+scheduler rather than ``pool.map``:
+
+* **Cost estimates** — per-component work is estimated from the constraint
+  count, the ``|Iσ|`` target-pool sizes and the candidate-space cap
+  (:func:`estimate_component_cost`); tasks dispatch **largest-first** over
+  ``as_completed`` so one big component cannot straggle behind a queue of
+  small ones.
+* **Chunking** — components whose estimated cost is far below the
+  per-task target are batched into chunked tasks, amortizing pool IPC
+  over many tiny searches.
+* **Early cancellation** — the first infeasible component cancels every
+  pending task and returns immediately (the sequential path mirrors this
+  by stopping at the first failure in component order).
+* **Zero-copy relation transport** — the process executor exports the
+  relation and its columnar index once into shared memory
+  (:mod:`repro.core.shm`); a pool initializer attaches each worker to the
+  segments and seeds its process-local ``get_index`` cache, so per-task
+  payloads are O(1) in relation size and worker memo caches stay warm
+  across tasks.  When shared memory is unavailable the initializer falls
+  back to one pickled relation per worker (never per task).
+
+Determinism: each component keeps its own ``SeedSequence`` stream (one
+child per component, spawned in component order), snapshots and stats are
+merged in component order after the join, and the ``parallel.*`` telemetry
+counters are emitted only on pooled runs — so a successful run's results
+and non-``parallel.*`` observability counters are byte-identical whether
+the components ran sequentially, on threads, or in processes, in whatever
+completion order.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from functools import partial
+from time import perf_counter
 from typing import Optional, Union
 
 import numpy as np
@@ -27,9 +64,47 @@ from .. import obs
 from ..data.relation import Relation
 from .coloring import ColoringResult, ColoringSearch, SearchStats
 from .constraints import ConstraintSet
-from .graph import build_graph
+from .graph import ConstraintNode, build_graph
 from .strategies import SelectionStrategy
 from .suppress import normalize_clustering
+
+#: Target number of tasks per worker: over-decomposing by this factor keeps
+#: the pool load-balanced when component costs are misestimated, while the
+#: chunker below stops tiny components from each paying their own IPC.
+_TASKS_PER_WORKER = 4
+
+# -- worker-process state ------------------------------------------------------
+
+#: Module-global state of one pool worker (populated by the initializers).
+#: ``relation`` is the attached (or seeded) relation, ``segments`` keeps the
+#: shared-memory mappings referenced, ``attach_ns`` is reported home by the
+#: first task the worker runs.
+_WORKER: dict = {}
+
+
+def _init_worker_shm(descriptor: dict) -> None:
+    """Pool initializer: attach to the parent's shared segments once."""
+    from .shm import attach
+
+    start = perf_counter()
+    relation, segments = attach(descriptor)
+    _WORKER["relation"] = relation
+    _WORKER["segments"] = segments
+    _WORKER["attach_ns"] = int((perf_counter() - start) * 1e9)
+
+
+def _init_worker_pickled(relation: Relation) -> None:
+    """Fallback pool initializer: one pickled relation per worker.
+
+    The index is built eagerly so every task the worker runs shares it —
+    the same amortization as the shared-memory path, minus the zero-copy.
+    """
+    from .index import get_index, vectorized_enabled
+
+    _WORKER["relation"] = relation
+    _WORKER["attach_ns"] = 0
+    if vectorized_enabled():
+        get_index(relation)
 
 
 def _solve_component(
@@ -42,7 +117,7 @@ def _solve_component(
     max_steps: Optional[int],
     collect: bool = False,
 ) -> tuple[ColoringResult, Optional[dict]]:
-    """Module-level worker so process pools can pickle the call.
+    """Solve one component; module-level so process pools can pickle it.
 
     With ``collect=True`` the component's search runs under a fresh
     thread-local :class:`~repro.obs.Collector` and its picklable snapshot
@@ -72,6 +147,91 @@ def _solve_component(
     return result, collector.snapshot()
 
 
+def _solve_chunk(
+    chunk: list[tuple[int, ConstraintSet, np.random.SeedSequence]],
+    k: int,
+    strategy,
+    max_candidates: int,
+    max_steps: Optional[int],
+    collect: bool,
+    relation: Optional[Relation] = None,
+) -> tuple[list[tuple[int, ColoringResult, Optional[dict]]], int]:
+    """Solve a batch of components in one task.
+
+    ``relation=None`` means "use the worker's attached/seeded relation"
+    (process pools); thread pools pass the parent's relation directly.
+    Returns per-component ``(order, result, snapshot)`` triples — one
+    snapshot per component, so the parent can replay them in component
+    order regardless of how they were batched — plus the worker's attach
+    time, reported exactly once per worker process.
+    """
+    if relation is None:
+        relation = _WORKER["relation"]
+    attach_ns = _WORKER.pop("attach_ns", 0)
+    out = []
+    for order, subset, seed_seq in chunk:
+        result, snapshot = _solve_component(
+            subset, seed_seq, relation, k, strategy, max_candidates,
+            max_steps, collect,
+        )
+        out.append((order, result, snapshot))
+    return out, attach_ns
+
+
+# -- cost model ----------------------------------------------------------------
+
+
+def estimate_component_cost(
+    nodes: list[ConstraintNode], max_candidates: int
+) -> float:
+    """Estimated search effort for one connected component.
+
+    A deliberately simple, monotone surrogate for the dominant terms of
+    the per-component search: candidate enumeration scans each
+    constraint's target pool against the candidate cap, and the
+    backtracking interleaves the component's constraints, so effort grows
+    with the component's total ``|Iσ|`` mass, its candidate-space bound
+    and its node count.  Used only for *ordering* and *chunking* — a
+    misestimate costs balance, never correctness.
+    """
+    pool = sum(len(node.target_tids) for node in nodes)
+    candidates = sum(
+        min(max_candidates, 1 + len(node.target_tids)) for node in nodes
+    )
+    return float(pool + candidates * len(nodes))
+
+
+def _build_chunks(
+    tasks: list[tuple[int, ConstraintSet, np.random.SeedSequence]],
+    costs: list[float],
+    max_workers: int,
+) -> list[list[tuple[int, ConstraintSet, np.random.SeedSequence]]]:
+    """Group cost-sorted tasks into dispatch chunks, largest-first.
+
+    Tasks are taken in descending cost order; a chunk closes as soon as
+    its accumulated cost reaches ``total / (workers × _TASKS_PER_WORKER)``.
+    Large components therefore dispatch alone (and first), while runs of
+    tiny components pack together until they amount to a worthwhile task.
+    """
+    order = sorted(range(len(tasks)), key=lambda i: (-costs[i], i))
+    target = sum(costs) / max(1, max_workers * _TASKS_PER_WORKER)
+    chunks: list[list] = []
+    current: list = []
+    current_cost = 0.0
+    for i in order:
+        current.append(tasks[i])
+        current_cost += costs[i]
+        if current_cost >= target:
+            chunks.append(current)
+            current, current_cost = [], 0.0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+# -- the component scheduler ---------------------------------------------------
+
+
 def component_coloring(
     relation: Relation,
     constraints: ConstraintSet,
@@ -85,69 +245,189 @@ def component_coloring(
 ) -> ColoringResult:
     """Color each connected component independently and merge.
 
-    ``max_workers=None`` runs components sequentially; any positive value
-    uses a pool of that size — ``executor="thread"`` (default, cheap to
-    spawn) or ``executor="process"`` (true parallelism; requires a
-    picklable strategy, i.e. a name rather than an instance).  The merged
-    result reports combined search statistics.
+    ``max_workers=None`` (or 1) runs components sequentially; any larger
+    value uses a pool of that size — ``executor="thread"`` (default, cheap
+    to spawn) or ``executor="process"`` (true parallelism; requires a
+    picklable strategy, i.e. a name rather than an instance, and ships the
+    relation via shared memory when available).  The merged result reports
+    combined search statistics.
 
     Each component gets its own RNG stream, derived by spawning
     ``np.random.SeedSequence(seed)`` — one child per component — so
     per-component randomness is independent (and identical whether the
-    components run sequentially, on threads, or in processes).
+    components run sequentially, on threads, or in processes, in any
+    completion order).
     """
     if executor not in ("thread", "process"):
         raise ValueError("executor must be 'thread' or 'process'")
     graph = build_graph(relation, constraints)
     components = graph.connected_components()
+    if not components:
+        # Zero components (empty Σ): trivially feasible, nothing to search.
+        return ColoringResult(True, clustering=())
     subsets = [
         ConstraintSet(graph.node(i).constraint for i in component)
         for component in components
     ]
-    seed_seqs = np.random.SeedSequence(seed).spawn(max(1, len(subsets)))
+    seed_seqs = np.random.SeedSequence(seed).spawn(len(subsets))
+    collect = obs.enabled()  # decided once, in the parent, at submit time
+
+    pooled = (
+        max_workers is not None and max_workers > 1 and len(components) > 1
+    )
+    if not pooled:
+        pairs: dict[int, tuple[ColoringResult, Optional[dict]]] = {}
+        for order, (subset, seed_seq) in enumerate(zip(subsets, seed_seqs)):
+            result, snapshot = _solve_component(
+                subset, seed_seq, relation, k, strategy, max_candidates,
+                max_steps, collect,
+            )
+            pairs[order] = (result, snapshot)
+            if not result.success:
+                break  # mirror the pooled path's early cancellation
+        return _merge(components, pairs)
+
+    if executor == "process" and not isinstance(strategy, str):
+        raise ValueError(
+            "process executor needs a strategy name, not an instance"
+        )
+    tasks = list(zip(range(len(subsets)), subsets, seed_seqs))
+    costs = [
+        estimate_component_cost(
+            [graph.node(i) for i in component], max_candidates
+        )
+        for component in components
+    ]
+    chunks = _build_chunks(tasks, costs, max_workers)
+    with obs.span(obs.SPAN_PARALLEL_SCHEDULE):
+        pairs, telemetry = _run_pool(
+            chunks, relation, k, strategy, max_candidates, max_steps,
+            collect, max_workers, executor,
+        )
+    telemetry[obs.PARALLEL_COMPONENTS] = len(components)
+    telemetry[obs.PARALLEL_TASKS_DISPATCHED] = len(chunks)
+    telemetry[obs.PARALLEL_TASKS_CHUNKED] = sum(
+        len(chunk) for chunk in chunks if len(chunk) > 1
+    )
+    result = _merge(components, pairs)
+    # Telemetry last, after the component-ordered snapshot replay, and only
+    # for pooled runs: sequential counter streams stay byte-identical.
+    obs.incr_many(telemetry)
+    return result
+
+
+def _run_pool(
+    chunks: list,
+    relation: Relation,
+    k: int,
+    strategy,
+    max_candidates: int,
+    max_steps: Optional[int],
+    collect: bool,
+    max_workers: int,
+    executor: str,
+) -> tuple[dict, dict]:
+    """Dispatch chunks largest-first and drain completions out of order.
+
+    Returns the per-component ``(result, snapshot)`` map and the run's
+    ``parallel.*`` telemetry.  On the first failed component, pending
+    futures are cancelled and in-flight ones are awaited but ignored.
+    """
+    from .shm import SharedRelationStore, shm_available
+
+    telemetry: dict[str, int] = {}
+    store = None
+    pool_kwargs: dict = {}
     solve = partial(
-        _solve_component,
-        relation=relation,
+        _solve_chunk,
         k=k,
         strategy=strategy,
         max_candidates=max_candidates,
         max_steps=max_steps,
-        # Decided once at submit time: workers collect per-worker snapshots
-        # iff this (parent) thread has a sink installed.
-        collect=obs.enabled(),
+        collect=collect,
     )
-
-    if max_workers is None or max_workers <= 1 or len(components) <= 1:
-        pairs = [solve(s, ss) for s, ss in zip(subsets, seed_seqs)]
-    elif executor == "process":
-        if not isinstance(strategy, str):
-            raise ValueError(
-                "process executor needs a strategy name, not an instance"
-            )
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            pairs = list(pool.map(solve, subsets, seed_seqs))
+    if executor == "process":
+        if shm_available():
+            with obs.span(obs.SPAN_PARALLEL_SHM_EXPORT):
+                store = SharedRelationStore(relation)
+            telemetry[obs.PARALLEL_SHM_SEGMENTS] = store.segment_count
+            telemetry[obs.PARALLEL_SHM_BYTES_EXPORTED] = store.nbytes
+            pool_kwargs = {
+                "initializer": _init_worker_shm,
+                "initargs": (store.descriptor,),
+            }
+        else:
+            telemetry[obs.PARALLEL_SHM_FALLBACKS] = 1
+            pool_kwargs = {
+                "initializer": _init_worker_pickled,
+                "initargs": (relation,),
+            }
+        pool_cls = ProcessPoolExecutor
     else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            pairs = list(pool.map(solve, subsets, seed_seqs))
+        solve = partial(solve, relation=relation)
+        pool_cls = ThreadPoolExecutor
 
-    # Join: replay each worker's snapshot into this thread's sink, in
-    # component order, so merged counters match a sequential run exactly.
-    results = []
-    for result, snapshot in pairs:
-        if snapshot is not None:
-            obs.emit_snapshot(snapshot)
-        results.append(result)
+    pairs: dict[int, tuple[ColoringResult, Optional[dict]]] = {}
+    attach_ns = 0
+    cancelled = 0
+    first_done: Optional[float] = None
+    try:
+        with pool_cls(max_workers=max_workers, **pool_kwargs) as pool:
+            futures: set[Future] = {pool.submit(solve, c) for c in chunks}
+            failed = False
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                if first_done is None:
+                    first_done = perf_counter()
+                for future in done:
+                    solved, task_attach_ns = future.result()
+                    attach_ns += task_attach_ns
+                    for order, result, snapshot in solved:
+                        pairs[order] = (result, snapshot)
+                        failed = failed or not result.success
+                if failed:
+                    for future in futures:
+                        if future.cancel():
+                            cancelled += 1
+                    break
+    finally:
+        if store is not None:
+            store.close()
+            store.unlink()
+    if first_done is not None:
+        telemetry[obs.PARALLEL_STRAGGLER_WAIT_NS] = int(
+            (perf_counter() - first_done) * 1e9
+        )
+    telemetry[obs.PARALLEL_SHM_ATTACH_NS] = attach_ns
+    telemetry[obs.PARALLEL_TASKS_CANCELLED] = cancelled
+    return pairs, telemetry
 
+
+def _merge(
+    components: list[list[int]],
+    pairs: dict[int, tuple[ColoringResult, Optional[dict]]],
+) -> ColoringResult:
+    """Join per-component results in component order.
+
+    Snapshot replay and stats merging walk components in Σ order — never
+    completion order — so a successful run's merged counters are
+    byte-identical to a sequential run's.  On failure the merge stops at
+    the first failing component (later components may or may not have
+    completed; their effort is not reported).
+    """
     merged_stats = SearchStats()
     merged_assignment: dict[int, tuple] = {}
     clusters: list = []
     satisfied: list = []
-    for component, result in zip(components, results):
-        merged_stats.nodes_expanded += result.stats.nodes_expanded
-        merged_stats.candidates_tried += result.stats.candidates_tried
-        merged_stats.backtracks += result.stats.backtracks
-        merged_stats.consistency_checks += result.stats.consistency_checks
-        merged_stats.prunes += result.stats.prunes
+    for order, component in enumerate(components):
+        entry = pairs.get(order)
+        if entry is None:
+            # Cancelled (or never dispatched) behind an earlier failure.
+            return ColoringResult(False, stats=merged_stats)
+        result, snapshot = entry
+        if snapshot is not None:
+            obs.emit_snapshot(snapshot)
+        merged_stats += result.stats
         if not result.success:
             return ColoringResult(False, stats=merged_stats)
         # Per-component searches number nodes locally; remap to global.

@@ -42,6 +42,15 @@ from .names import (  # noqa: F401
     INDEX_CLUSTER_CACHE_MISSES,
     KMEMBER_CLUSTERS,
     KMEMBER_LEFTOVERS,
+    PARALLEL_COMPONENTS,
+    PARALLEL_SHM_ATTACH_NS,
+    PARALLEL_SHM_BYTES_EXPORTED,
+    PARALLEL_SHM_FALLBACKS,
+    PARALLEL_SHM_SEGMENTS,
+    PARALLEL_STRAGGLER_WAIT_NS,
+    PARALLEL_TASKS_CANCELLED,
+    PARALLEL_TASKS_CHUNKED,
+    PARALLEL_TASKS_DISPATCHED,
     SPAN_ANONYMIZE,
     SPAN_COLORING_SEARCH,
     SPAN_DIVA_RUN,
@@ -50,6 +59,8 @@ from .names import (  # noqa: F401
     SPAN_GRAPH_BUILD,
     SPAN_INTEGRATE,
     SPAN_KMEMBER_CLUSTER,
+    SPAN_PARALLEL_SCHEDULE,
+    SPAN_PARALLEL_SHM_EXPORT,
     SPAN_REFINE,
     SPAN_STREAM_EXTEND,
     SPAN_STREAM_INGEST,

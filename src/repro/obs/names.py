@@ -53,6 +53,27 @@ STREAM_RECOMPUTES_SCOPED = "stream.recomputes_scoped"
 STREAM_RECOMPUTES_FULL = "stream.recomputes_full"
 STREAM_RELEASES_PUBLISHED = "stream.releases_published"
 
+#: Parallel runtime: component decomposition and scheduling volume.  Emitted
+#: by the parent only when a pool is actually used, so a sequential run's
+#: counter set stays clean — equivalence checks compare everything *outside*
+#: the ``parallel.`` namespace, which is runtime telemetry, not search state.
+PARALLEL_COMPONENTS = "parallel.components"
+PARALLEL_TASKS_DISPATCHED = "parallel.tasks_dispatched"
+PARALLEL_TASKS_CHUNKED = "parallel.tasks_chunked"
+PARALLEL_TASKS_CANCELLED = "parallel.tasks_cancelled"
+
+#: Parallel runtime: wall-clock the parent spent waiting for the remaining
+#: tasks after the first one completed (the straggler tail), in nanoseconds.
+PARALLEL_STRAGGLER_WAIT_NS = "parallel.straggler_wait_ns"
+
+#: Shared-memory relation transport: segments/bytes exported once per pooled
+#: process run, cumulative worker attach time, and pickling fallbacks taken
+#: when shared memory is unavailable.
+PARALLEL_SHM_SEGMENTS = "parallel.shm.segments"
+PARALLEL_SHM_BYTES_EXPORTED = "parallel.shm.bytes_exported"
+PARALLEL_SHM_ATTACH_NS = "parallel.shm.attach_ns"
+PARALLEL_SHM_FALLBACKS = "parallel.shm.fallbacks"
+
 ALL_COUNTERS = (
     GRAPH_NODES,
     GRAPH_EDGES,
@@ -74,6 +95,15 @@ ALL_COUNTERS = (
     STREAM_RECOMPUTES_SCOPED,
     STREAM_RECOMPUTES_FULL,
     STREAM_RELEASES_PUBLISHED,
+    PARALLEL_COMPONENTS,
+    PARALLEL_TASKS_DISPATCHED,
+    PARALLEL_TASKS_CHUNKED,
+    PARALLEL_TASKS_CANCELLED,
+    PARALLEL_STRAGGLER_WAIT_NS,
+    PARALLEL_SHM_SEGMENTS,
+    PARALLEL_SHM_BYTES_EXPORTED,
+    PARALLEL_SHM_ATTACH_NS,
+    PARALLEL_SHM_FALLBACKS,
 )
 
 # -- spans ---------------------------------------------------------------------
@@ -96,6 +126,11 @@ SPAN_STREAM_PUBLISH = "stream.publish"
 SPAN_STREAM_EXTEND = "stream.extend"
 SPAN_STREAM_RECOMPUTE = "stream.recompute"
 
+#: Parallel runtime: the pooled scheduling region (submit → join) and the
+#: one-time shared-memory export of the relation/index in the parent.
+SPAN_PARALLEL_SCHEDULE = "parallel.schedule"
+SPAN_PARALLEL_SHM_EXPORT = "parallel.shm.export"
+
 ALL_SPANS = (
     SPAN_DIVA_RUN,
     SPAN_DIVERSE_CLUSTERING,
@@ -111,4 +146,6 @@ ALL_SPANS = (
     SPAN_STREAM_PUBLISH,
     SPAN_STREAM_EXTEND,
     SPAN_STREAM_RECOMPUTE,
+    SPAN_PARALLEL_SCHEDULE,
+    SPAN_PARALLEL_SHM_EXPORT,
 )

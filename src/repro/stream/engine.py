@@ -78,6 +78,11 @@ class StreamingAnonymizer:
         How many publishes a stranded sub-``k`` residual group may sit in
         the buffer before a full recompute drains it (0 = recompute
         immediately, as soon as a batch strands fewer than k residuals).
+    max_workers / executor:
+        Forwarded to the recompute :class:`Diva` — full and scoped
+        recompute runs color constraint-graph components on a pool of this
+        size (see :mod:`repro.core.parallel`).  The extend path never uses
+        a pool; it is already incremental.
     """
 
     def __init__(
@@ -93,6 +98,8 @@ class StreamingAnonymizer:
         bootstrap: Optional[int] = None,
         max_deferrals: int = 2,
         seed: int = 0,
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
     ):
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -109,6 +116,8 @@ class StreamingAnonymizer:
             max_candidates=max_candidates,
             max_steps=max_steps,
             seed=seed,
+            max_workers=max_workers,
+            executor=executor,
         )
         self.ledger = ReleaseLedger(k, constraints)
         self.stats = StreamStats()
