@@ -1,10 +1,11 @@
 """Micro-benchmarks: vectorized kernels vs the pure-Python reference.
 
 Times each DIVA hot-path kernel on a census-shaped relation under both
-backends and records the results to ``BENCH_kernels.json`` at the repo
-root — ``(op, n, reference_s, vectorized_s, speedup)`` rows — so the perf
-trajectory of the columnar kernel layer is tracked from the PR that
-introduced it onward.
+backends and records the results through the run registry
+(``benchmarks/results/runs/`` plus the ``BENCH_kernels.json`` duplicate at
+the repo root) — ``(op, n, reference_s, vectorized_s, speedup)`` rows — so
+the perf trajectory of the columnar kernel layer is tracked from the PR
+that introduced it onward.
 
 Excluded from tier-1 runs by the ``bench`` marker (``pyproject.toml``
 defaults to ``-m "not bench"``); run with::
@@ -20,14 +21,13 @@ vectorized timings exercise fresh computations rather than the memo cache.
 
 from __future__ import annotations
 
-import json
 import time
 from collections import Counter
-from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.bench.reporting import write_bench_artifact
 from repro.core.clusterings import (
     cluster_suppression_cost_reference,
     greedy_k_partition,
@@ -44,7 +44,6 @@ N_ROWS = 10_000
 CLUSTER_SIZE = 10
 PAIRWISE_N = 2_000
 PARTITION_N = 2_000
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
 def _best_time(fn, repeats: int = 5) -> float:
@@ -176,7 +175,14 @@ def test_kernel_speedups():
     )
     record("greedy_k_partition", PARTITION_N, ref_s, vec_s)
 
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench_artifact(
+        "kernels",
+        {"results": results},
+        config={"n_rows": N_ROWS, "cluster_size": CLUSTER_SIZE},
+        metrics={
+            f"{r['op']}_s": r["vectorized_s"] for r in results
+        },
+    )
     by_op = {r["op"]: r for r in results}
     for line in results:
         print(line)

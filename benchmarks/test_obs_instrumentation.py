@@ -2,9 +2,12 @@
 
 Runs one census-shaped DIVA point with ``collect_obs=True`` and records
 the embedded ``obs`` block — per-phase span timings plus the search
-counters — to ``BENCH_obs.json`` at the repo root.  This is the artifact
+counters — through the run registry (``benchmarks/results/runs/`` plus
+the ``BENCH_obs.json`` duplicate at the repo root).  This is the artifact
 that tracks where pipeline time goes (clustering vs suppress vs k-member)
-and how search effort scales, PR over PR.
+and how search effort scales, PR over PR.  It also measures the null-sink
+overhead — the same point with instrumentation compiled to the default
+discard sink — which must stay under 5%.
 
 Excluded from tier-1 runs by the ``bench`` marker; run with::
 
@@ -14,11 +17,11 @@ Excluded from tier-1 runs by the ``bench`` marker; run with::
 from __future__ import annotations
 
 import json
-from pathlib import Path
 
 import pytest
 
 from repro.bench.harness import run_diva_point
+from repro.bench.reporting import write_bench_artifact
 from repro.data.datasets import make_census
 from repro.obs import (
     SPAN_DIVA_RUN,
@@ -32,7 +35,55 @@ pytestmark = pytest.mark.bench
 N_ROWS = 2_000
 K = 5
 N_CONSTRAINTS = 6
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _null_sink_overhead(relation, sigma) -> float:
+    """Twin-index race: instrumented ``preserved_count`` vs a faithful
+    replica of its pre-instrumentation body, both under the default NULL
+    sink (same methodology as ``tests/test_obs.py::TestOverheadGuard``).
+    Returns the best observed instrumented/uninstrumented ratio minus 1.
+    """
+    import time
+
+    from repro.core.index import RelationIndex
+
+    constraint = next(iter(sigma))
+    tids = list(relation.tids)
+
+    def uninstrumented(index, cluster, c):
+        sub = index._pc_cache.get(c)
+        if sub is None:
+            sub = index._pc_cache[c] = {}
+        cached = sub.get(cluster)
+        if cached is None:
+            cached = index._preserved_count_uncached(cluster, c)
+            sub[cluster] = cached
+        return cached
+
+    best = float("inf")
+    for attempt in range(4):
+        index_base = RelationIndex(relation)
+        index_inst = RelationIndex(relation)
+        for index in (index_base, index_inst):
+            index.artifacts(constraint)
+        base = inst = float("inf")
+        for rep in range(5):
+            offset = attempt * 10 + rep
+            rotated = tids[offset:] + tids[:offset]
+            parts = [
+                frozenset(rotated[i:i + 8])
+                for i in range(0, len(rotated) - 7, 8)
+            ]
+            start = time.perf_counter()
+            for cluster in parts:
+                uninstrumented(index_base, cluster, constraint)
+            base = min(base, time.perf_counter() - start)
+            start = time.perf_counter()
+            for cluster in parts:
+                index_inst.preserved_count(cluster, constraint)
+            inst = min(inst, time.perf_counter() - start)
+        best = min(best, inst / base)
+    return best - 1.0
 
 
 def test_pipeline_profile():
@@ -51,16 +102,40 @@ def test_pipeline_profile():
     assert counters.get("graph.nodes", 0) >= 1
     assert counters.get("kmember.clusters", 0) >= 1
 
+    # Null-sink overhead: the same point with the default discard sink.
+    # Best-of-3 on both sides to damp scheduler noise.
+    instrumented = min(
+        run_diva_point(
+            relation, sigma, K, "maxfanout", seed=3, collect_obs=True
+        ).runtime
+        for _ in range(3)
+    )
+    null_sink = min(
+        run_diva_point(relation, sigma, K, "maxfanout", seed=3).runtime
+        for _ in range(3)
+    )
+    overhead = instrumented / null_sink - 1.0 if null_sink else 0.0
+    null_overhead = _null_sink_overhead(relation, sigma)
+
     payload = {
         "n_rows": N_ROWS,
         "k": K,
         "n_constraints": N_CONSTRAINTS,
         "runtime_s": round(point.runtime, 6),
         "accuracy": round(point.accuracy, 6),
+        "null_sink_runtime_s": round(null_sink, 6),
+        "collector_runtime_s": round(instrumented, 6),
+        "collector_overhead": round(overhead, 4),
+        "null_sink_overhead": round(null_overhead, 4),
         "obs": block,
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(json.dumps(payload, indent=2))
+    record = write_bench_artifact(
+        "obs",
+        payload,
+        config={"n_rows": N_ROWS, "k": K, "n_constraints": N_CONSTRAINTS},
+        metrics={"runtime_s": round(point.runtime, 6)},
+    )
+    print(json.dumps(record, indent=2))
 
     # Phase spans must nest sanely inside the run span (generous slack:
     # these are wall-clock timings, not exact accounting).

@@ -3,9 +3,10 @@
 Runs a multi-component DiverseClustering workload (popsyn, n=4000, 16
 disjoint single-attribute constraints → 16 components on the vectorized
 backend) through ``component_coloring`` at workers ∈ {1, 2, 4} with the
-process executor, and records the curve to ``BENCH_parallel.json`` at the
-repo root together with the host's core count and the shared-memory
-telemetry.
+process executor, and records the curve through the run registry
+(``benchmarks/results/runs/`` plus the ``BENCH_parallel.json`` duplicate
+at the repo root) together with the host's core count and the
+shared-memory telemetry.
 
 Correctness assertions run unconditionally on any host:
 
@@ -28,14 +29,13 @@ Excluded from tier-1 runs by the ``bench`` marker; run with::
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import pytest
 
 from repro import obs
+from repro.bench.reporting import write_bench_artifact
 from repro.core.constraints import ConstraintSet, DiversityConstraint
 from repro.core.graph import build_graph
 from repro.core.index import use_kernel_backend
@@ -51,7 +51,6 @@ SEED = 11
 LOWER, UPPER = 3, 18
 WORKER_COUNTS = (1, 2, 4)
 REPEATS = 3
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 
 def _usable_cores() -> int:
@@ -179,8 +178,15 @@ def test_parallel_scaling_curve():
                 "components_16": bytes16,
             },
         }
-        RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
-        print(f"\nwrote {RESULTS_PATH}")
+        write_bench_artifact(
+            "parallel",
+            results,
+            config=results["workload"],
+            metrics={
+                f"workers{row['workers']}_s": row["seconds"] for row in rows
+            },
+        )
+        print("\nwrote BENCH_parallel.json (+ registry record)")
         for row in rows:
             print(
                 f"  workers={row['workers']} ({row['executor']}): "

@@ -2,7 +2,8 @@
 
 Replays a census-shaped relation through :class:`repro.stream.
 StreamingAnonymizer` in micro-batches on the vectorized backend and
-records ``BENCH_stream.json`` at the repo root: per-batch publish
+records the result through the run registry (``benchmarks/results/
+runs/`` plus the ``BENCH_stream.json`` duplicate): per-batch publish
 latencies, the extend-vs-recompute split, and — the headline number — the
 *amortized* per-batch publish cost next to the cost of the naive
 alternative, re-running full DIVA on the whole history for every batch.
@@ -20,12 +21,11 @@ publish cost, not just the happy extend path.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from repro.bench.reporting import write_bench_artifact
 from repro.core.diva import run_diva
 from repro.core.index import use_kernel_backend
 from repro.data.datasets import make_census
@@ -40,7 +40,6 @@ BATCH_SIZE = 100
 BOOTSTRAP = 1_000
 K = 5
 N_CONSTRAINTS = 6
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
 
 
 def test_amortized_publish_cost_below_full_rerun():
@@ -116,7 +115,23 @@ def test_amortized_publish_cost_below_full_rerun():
         "final_stars": final.relation.star_count(),
         "full_diva_stars": full.relation.star_count(),
     }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    write_bench_artifact(
+        "stream",
+        results,
+        config={
+            "n_rows": N_ROWS,
+            "k": K,
+            "batch_size": BATCH_SIZE,
+            "bootstrap": BOOTSTRAP,
+        },
+        metrics={
+            "full_diva_s": results["full_diva_s"],
+            "stream_total_s": results["stream_total_s"],
+            "amortized_batch_s": results["amortized_batch_s"],
+        },
+    )
+    publish_summary = engine.stats.publish_latency.summary()
+    print(f"publish_latency: {publish_summary}")
     for key, value in results.items():
         print(f"{key}: {value}")
 

@@ -65,6 +65,8 @@ def run_diva_point(
     collect_obs: bool = False,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    registry=None,
+    registry_label: str = "diva-point",
 ) -> SeriesPoint:
     """Run DIVA once (or averaged over trials) and measure the output.
 
@@ -77,6 +79,10 @@ def run_diva_point(
     observability collector and embeds the summarized ``obs`` block
     (per-phase span timings + search counters, last trial) in the point's
     extras — that block is what the benchmark JSON artifacts record.
+
+    ``registry`` (a :class:`repro.obs.RunRegistry` or a path to one)
+    appends the point as a schema-versioned run record under
+    ``registry_label``, making it comparable with ``repro compare``.
     """
     outputs = {}
 
@@ -110,12 +116,39 @@ def run_diva_point(
     }
     if collect_obs:
         extras["obs"] = outputs["obs"]
-    return SeriesPoint(
+    point = SeriesPoint(
         x=None,
         runtime=trial.mean_time,
         accuracy=metrics["accuracy"],
         extras=extras,
     )
+    if registry is not None:
+        from ..obs.registry import RunRegistry, new_record
+
+        target = (
+            registry if isinstance(registry, RunRegistry) else RunRegistry(registry)
+        )
+        target.append(
+            new_record(
+                kind="bench-point",
+                label=registry_label,
+                config={
+                    "n_rows": len(relation),
+                    "n_constraints": len(constraints),
+                    "k": k,
+                    "strategy": strategy,
+                    "workers": max_workers,
+                    "executor": executor,
+                },
+                metrics={
+                    "runtime_s": point.runtime,
+                    "accuracy": point.accuracy,
+                    "stars": extras["stars"],
+                },
+                obs_block=extras.get("obs"),
+            )
+        )
+    return point
 
 
 def run_baseline_point(

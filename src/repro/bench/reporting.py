@@ -1,20 +1,65 @@
-"""Rendering experiment results as the paper's rows and series.
+"""Rendering and persisting experiment results.
 
-ASCII tables for terminals and CSV writers for downstream plotting.  The
-formats mirror the paper's artifacts: Figure experiments render one row per
-x value with one column per algorithm series; Table 4 renders the dataset
-characteristics grid.
+ASCII tables for terminals, CSV writers for downstream plotting, and the
+single code path every ``BENCH_*`` artifact goes through
+(:func:`write_bench_artifact`): a schema-versioned registry record under
+``benchmarks/results/runs/`` plus a backwards-compatible duplicate at the
+repo root.  The table/CSV formats mirror the paper's artifacts: Figure
+experiments render one row per x value with one column per algorithm
+series; Table 4 renders the dataset characteristics grid.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
+from ..obs import registry as run_registry
 from .harness import Experiment
 
 PathLike = Union[str, Path]
+
+
+def default_repo_root() -> Path:
+    """The checkout this package lives in (``src/repro/bench/`` → root)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def write_bench_artifact(
+    name: str,
+    payload: dict,
+    *,
+    config: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+    repo_root: Optional[PathLike] = None,
+) -> dict:
+    """Persist one benchmark result through the run registry.
+
+    Builds a registry record (kind ``bench``, label ``name``) carrying
+    ``payload`` verbatim, appends it under
+    ``<repo_root>/benchmarks/results/runs/``, and writes a duplicate
+    (same JSON, no symlink) to ``<repo_root>/BENCH_<name>.json`` so the
+    long-standing root artifacts keep existing.  Returns the record.
+
+    ``metrics`` entries ending in ``_s`` are what ``repro compare`` gates
+    on; ``payload`` may carry an ``obs`` summarize-block which is lifted
+    into the record's ``obs`` field.
+    """
+    root = Path(repo_root) if repo_root is not None else default_repo_root()
+    record = run_registry.new_record(
+        kind="bench",
+        label=name,
+        config=config,
+        metrics=metrics,
+        obs_block=payload.get("obs") if isinstance(payload, dict) else None,
+    )
+    record["payload"] = payload
+    run_registry.RunRegistry(root / "benchmarks" / "results").append(record)
+    text = json.dumps(record, indent=2, default=str) + "\n"
+    (root / f"BENCH_{name}.json").write_text(text)
+    return record
 
 
 def format_table(rows: list[dict], columns: list[str] = None) -> str:

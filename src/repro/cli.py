@@ -8,6 +8,10 @@ Commands:
 * ``bench`` — regenerate one paper artifact and print its series.
 * ``stream`` — replay a CSV as timed micro-batches through the streaming
   engine, writing every published release.
+* ``report`` — render one run: duration histograms, critical path, folded
+  stacks and top counters from a JSONL trace (or a registry record).
+* ``compare`` — diff two runs (or a run against its registry baseline)
+  and exit non-zero on a regression past the threshold.
 
 Constraint files are plain text, one constraint per line in the paper's
 notation (``ETH[Asian], 2, 5``); blank lines and ``#`` comments allowed.
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from . import obs
@@ -63,9 +68,11 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         executor=args.executor,
     )
     collector = None
-    if args.stats or args.trace:
+    began = time.perf_counter()
+    if args.stats or args.trace or args.registry:
         # --stats prints the in-memory summary; --trace streams replayable
-        # JSONL events.  Both can be active at once via a tee.
+        # JSONL events; --registry persists the summarized run.  All can
+        # be active at once via a tee.
         collector = obs.Collector()
         sinks: list[obs.Sink] = [collector]
         if args.trace:
@@ -79,6 +86,7 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
                 s.close()
     else:
         result = solver.run(relation, constraints, args.k)
+    elapsed = time.perf_counter() - began
     save_relation(result.relation, args.output)
     metrics = measure_output(result.relation, args.k)
     print(f"wrote {args.output}: |R|={len(result.relation)}")
@@ -94,6 +102,32 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         print(obs.render(obs.summarize(collector)))
     if args.trace:
         print(f"trace written to {args.trace}")
+    if args.registry:
+        registry = obs.RunRegistry(args.registry)
+        path = registry.append(
+            obs.new_record(
+                kind="anonymize",
+                label=args.label,
+                config={
+                    "k": args.k,
+                    "strategy": args.strategy,
+                    "anonymizer": args.anonymizer,
+                    "workers": args.workers,
+                    "executor": args.executor,
+                    "seed": args.seed,
+                },
+                metrics={
+                    "runtime_s": round(elapsed, 6),
+                    "accuracy": metrics["accuracy"],
+                    "stars": metrics["stars"],
+                    "dropped": len(result.dropped),
+                },
+                obs_block=(
+                    obs.summarize(collector) if collector is not None else None
+                ),
+            )
+        )
+        print(f"registry record {path}")
     return 0
 
 
@@ -222,6 +256,14 @@ def cmd_stream(args: argparse.Namespace) -> int:
             "published (stream infeasible or below k)"
         )
     if args.stats:
+        latency = stats.publish_latency
+        if latency.count:
+            s = latency.summary()
+            print(
+                f"publish latency: n={s['count']} p50={s['p50_s']:.6f}s "
+                f"p90={s['p90_s']:.6f}s p99={s['p99_s']:.6f}s "
+                f"max={s['max_s']:.6f}s"
+            )
         print(obs.render(obs.summarize(collector)))
     return 0 if stats.releases else 1
 
@@ -230,6 +272,69 @@ def _null_context():
     import contextlib
 
     return contextlib.nullcontext()
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render one run: histograms, critical path, folded stacks, counters.
+
+    ``input`` is either a JSONL trace (``anonymize --trace``) — analyzed
+    in full, including tree reconstruction — or a registry record JSON,
+    whose summarized ``obs`` block is rendered (a summary has no per-event
+    data, so tree views are unavailable for records).
+    """
+    path = Path(args.input)
+    if path.suffix == ".jsonl":
+        analysis = obs.analyze(path)
+        print(f"trace: {path}")
+        print(obs.render_analysis(analysis, top_counters=args.top))
+        return 0
+    record = obs.load_run(path)
+    print(
+        f"run: {record['run_id']} ({record['kind']}) "
+        f"at {record['created_at']} git={record.get('git_sha') or '?'}"
+    )
+    for section in ("config", "metrics"):
+        entries = record.get(section) or {}
+        if entries:
+            print(f"{section}: " + ", ".join(
+                f"{key}={value}" for key, value in entries.items()
+            ))
+    block = record.get("obs")
+    if block:
+        print(obs.render(block))
+    else:
+        print("(record carries no obs block; critical path needs a .jsonl trace)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare a candidate run against a baseline; exit 1 on regression.
+
+    The baseline is ``--against PATH`` when given, otherwise the most
+    recent registry run with the candidate's label (excluding the
+    candidate itself) — the run-vs-registry-baseline mode.
+    """
+    candidate = obs.load_run(args.candidate)
+    if args.against:
+        baseline = obs.load_run(args.against)
+    else:
+        registry = obs.RunRegistry(args.registry)
+        baseline = registry.latest(
+            label=args.label or candidate.get("label"),
+            exclude_run_id=candidate.get("run_id"),
+        )
+        if baseline is None:
+            print(
+                f"no baseline run labelled "
+                f"{args.label or candidate.get('label')!r} in {registry.root}"
+            )
+            return 2
+    comparison = obs.compare_runs(
+        baseline, candidate, threshold=args.threshold,
+        min_baseline_s=args.min_baseline,
+    )
+    print(obs.render_comparison(comparison))
+    return 0 if comparison.ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -300,6 +405,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE",
         help="write span/counter events as replayable JSONL to FILE",
     )
+    p.add_argument(
+        "--registry", metavar="DIR",
+        help="append a schema-versioned run record (config, metrics, obs "
+        "summary) to the run registry rooted at DIR",
+    )
+    p.add_argument(
+        "--label", default="anonymize",
+        help="registry label for this run (default: anonymize)",
+    )
     p.set_defaults(fn=cmd_anonymize)
 
     p = sub.add_parser("check", help="validate an anonymized CSV")
@@ -358,6 +472,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print stream span timings and stream.* counters",
     )
     p.set_defaults(fn=cmd_stream)
+
+    p = sub.add_parser(
+        "report",
+        help="analyze a JSONL trace (critical path, flamegraph stacks, "
+        "histograms) or render a registry run record",
+    )
+    p.add_argument("input", help="trace .jsonl or registry record .json")
+    p.add_argument(
+        "--top", type=int, default=20,
+        help="counters/stacks rows to show (default 20)",
+    )
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "compare",
+        help="compare a run record against a baseline; exit 1 on regression",
+    )
+    p.add_argument("candidate", help="candidate run record .json")
+    p.add_argument(
+        "--against", metavar="FILE",
+        help="explicit baseline run record (otherwise the latest registry "
+        "run with the candidate's label)",
+    )
+    p.add_argument(
+        "--registry", metavar="DIR", default="benchmarks/results",
+        help="registry root to pick the baseline from "
+        "(default: benchmarks/results)",
+    )
+    p.add_argument(
+        "--label", default=None,
+        help="baseline label to match (default: the candidate's label)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=obs.registry.DEFAULT_THRESHOLD,
+        help="slowdown ratio that counts as a regression (default %(default)s)",
+    )
+    p.add_argument(
+        "--min-s", dest="min_baseline", type=float,
+        default=obs.registry.DEFAULT_MIN_BASELINE_S,
+        help="ignore durations below this baseline floor, in seconds "
+        "(default %(default)s)",
+    )
+    p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("bench", help="regenerate one paper artifact")
     p.add_argument(

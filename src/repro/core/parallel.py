@@ -21,7 +21,9 @@ scheduler rather than ``pool.map``:
   count, the ``|Iσ|`` target-pool sizes and the candidate-space cap
   (:func:`estimate_component_cost`); tasks dispatch **largest-first** over
   ``as_completed`` so one big component cannot straggle behind a queue of
-  small ones.
+  small ones.  With a calibration configured (:mod:`repro.core.costmodel`)
+  the feature weights are *learned* from each pooled run's observed
+  per-component wall clock instead of assumed.
 * **Chunking** — components whose estimated cost is far below the
   per-task target are batched into chunked tasks, amortizing pool IPC
   over many tiny searches.
@@ -62,6 +64,7 @@ import numpy as np
 
 from .. import obs
 from ..data.relation import Relation
+from . import costmodel
 from .coloring import ColoringResult, ColoringSearch, SearchStats
 from .constraints import ConstraintSet
 from .graph import ConstraintNode, build_graph
@@ -160,29 +163,47 @@ def _solve_chunk(
 
     ``relation=None`` means "use the worker's attached/seeded relation"
     (process pools); thread pools pass the parent's relation directly.
-    Returns per-component ``(order, result, snapshot)`` triples — one
-    snapshot per component, so the parent can replay them in component
-    order regardless of how they were batched — plus the worker's attach
-    time, reported exactly once per worker process.
+    Returns per-component ``(order, result, snapshot, wall_ns)`` tuples —
+    one snapshot per component, so the parent can replay them in
+    component order regardless of how they were batched, and the
+    component's observed wall clock, which feeds the adaptive cost model
+    — plus the worker's attach time, reported exactly once per worker
+    process.
     """
     if relation is None:
         relation = _WORKER["relation"]
     attach_ns = _WORKER.pop("attach_ns", 0)
     out = []
     for order, subset, seed_seq in chunk:
+        started = perf_counter()
         result, snapshot = _solve_component(
             subset, seed_seq, relation, k, strategy, max_candidates,
             max_steps, collect,
         )
-        out.append((order, result, snapshot))
+        wall_ns = int((perf_counter() - started) * 1e9)
+        out.append((order, result, snapshot, wall_ns))
     return out, attach_ns
 
 
 # -- cost model ----------------------------------------------------------------
 
 
-def estimate_component_cost(
+def component_features(
     nodes: list[ConstraintNode], max_candidates: int
+) -> tuple[float, float]:
+    """The two cost features of a component: target-pool mass and
+    candidate mass (candidate-space bound × node count)."""
+    pool = sum(len(node.target_tids) for node in nodes)
+    candidates = sum(
+        min(max_candidates, 1 + len(node.target_tids)) for node in nodes
+    )
+    return float(pool), float(candidates * len(nodes))
+
+
+def estimate_component_cost(
+    nodes: list[ConstraintNode],
+    max_candidates: int,
+    weights: Optional[tuple[float, float]] = None,
 ) -> float:
     """Estimated search effort for one connected component.
 
@@ -191,14 +212,14 @@ def estimate_component_cost(
     constraint's target pool against the candidate cap, and the
     backtracking interleaves the component's constraints, so effort grows
     with the component's total ``|Iσ|`` mass, its candidate-space bound
-    and its node count.  Used only for *ordering* and *chunking* — a
-    misestimate costs balance, never correctness.
+    and its node count.  ``weights`` replaces the default unit feature
+    weights with a learned per-dataset calibration
+    (:mod:`repro.core.costmodel`).  Used only for *ordering* and
+    *chunking* — a misestimate costs balance, never correctness.
     """
-    pool = sum(len(node.target_tids) for node in nodes)
-    candidates = sum(
-        min(max_candidates, 1 + len(node.target_tids)) for node in nodes
-    )
-    return float(pool + candidates * len(nodes))
+    pool, candidate_mass = component_features(nodes, max_candidates)
+    w_pool, w_mass = weights if weights is not None else (1.0, 1.0)
+    return w_pool * pool + w_mass * candidate_mass
 
 
 def _build_chunks(
@@ -292,15 +313,26 @@ def component_coloring(
             "process executor needs a strategy name, not an instance"
         )
     tasks = list(zip(range(len(subsets)), subsets, seed_seqs))
+    # Adaptive cost model: a configured calibration replaces the unit
+    # feature weights for this relation's schema family.  Ordering-only —
+    # seeds, budgets and the Σ-ordered merge below are untouched, so the
+    # learned weights can never change results, only load balance.
+    model = costmodel.get_cost_model()
+    dataset_key = costmodel.schema_key(relation.schema) if model else None
+    learned = model.weights(dataset_key) if model else None
+    features = [
+        component_features([graph.node(i) for i in component], max_candidates)
+        for component in components
+    ]
     costs = [
         estimate_component_cost(
-            [graph.node(i) for i in component], max_candidates
+            [graph.node(i) for i in component], max_candidates, learned
         )
         for component in components
     ]
     chunks = _build_chunks(tasks, costs, max_workers)
     with obs.span(obs.SPAN_PARALLEL_SCHEDULE):
-        pairs, telemetry = _run_pool(
+        pairs, walls, telemetry = _run_pool(
             chunks, relation, k, strategy, max_candidates, max_steps,
             collect, max_workers, executor,
         )
@@ -309,6 +341,11 @@ def component_coloring(
     telemetry[obs.PARALLEL_TASKS_CHUNKED] = sum(
         len(chunk) for chunk in chunks if len(chunk) > 1
     )
+    telemetry[obs.PARALLEL_COMPONENT_WALL_NS] = sum(walls.values())
+    if model is not None and walls:
+        for order, wall_ns in walls.items():
+            model.observe(dataset_key, features[order], wall_ns)
+        model.save()
     result = _merge(components, pairs)
     # Telemetry last, after the component-ordered snapshot replay, and only
     # for pooled runs: sequential counter streams stay byte-identical.
@@ -329,7 +366,8 @@ def _run_pool(
 ) -> tuple[dict, dict]:
     """Dispatch chunks largest-first and drain completions out of order.
 
-    Returns the per-component ``(result, snapshot)`` map and the run's
+    Returns the per-component ``(result, snapshot)`` map, the observed
+    per-component wall clocks (for the adaptive cost model) and the run's
     ``parallel.*`` telemetry.  On the first failed component, pending
     futures are cancelled and in-flight ones are awaited but ignored.
     """
@@ -368,6 +406,7 @@ def _run_pool(
         pool_cls = ThreadPoolExecutor
 
     pairs: dict[int, tuple[ColoringResult, Optional[dict]]] = {}
+    walls: dict[int, int] = {}
     attach_ns = 0
     cancelled = 0
     first_done: Optional[float] = None
@@ -382,8 +421,9 @@ def _run_pool(
                 for future in done:
                     solved, task_attach_ns = future.result()
                     attach_ns += task_attach_ns
-                    for order, result, snapshot in solved:
+                    for order, result, snapshot, wall_ns in solved:
                         pairs[order] = (result, snapshot)
+                        walls[order] = wall_ns
                         failed = failed or not result.success
                 if failed:
                     for future in futures:
@@ -400,7 +440,7 @@ def _run_pool(
         )
     telemetry[obs.PARALLEL_SHM_ATTACH_NS] = attach_ns
     telemetry[obs.PARALLEL_TASKS_CANCELLED] = cancelled
-    return pairs, telemetry
+    return pairs, walls, telemetry
 
 
 def _merge(

@@ -42,6 +42,7 @@ from .names import (  # noqa: F401
     INDEX_CLUSTER_CACHE_MISSES,
     KMEMBER_CLUSTERS,
     KMEMBER_LEFTOVERS,
+    PARALLEL_COMPONENT_WALL_NS,
     PARALLEL_COMPONENTS,
     PARALLEL_SHM_ATTACH_NS,
     PARALLEL_SHM_BYTES_EXPORTED,
@@ -75,6 +76,25 @@ from .names import (  # noqa: F401
     STREAM_TUPLES_INGESTED,
     STREAM_TUPLES_RECOMPUTED,
     SUPPRESS_CELLS_STARRED,
+)
+from .analyze import (  # noqa: F401
+    SpanNode,
+    TraceAnalysis,
+    analyze,
+    build_forest,
+    critical_path,
+    folded_stacks,
+    render_analysis,
+)
+from .hist import Histogram
+from .registry import (  # noqa: F401
+    Comparison,
+    Regression,
+    RunRegistry,
+    compare_runs,
+    load_run,
+    new_record,
+    render_comparison,
 )
 from .report import render, summarize
 from .runtime import (
@@ -113,6 +133,23 @@ __all__ = [
     # report
     "summarize",
     "render",
+    # analytics
+    "Histogram",
+    "SpanNode",
+    "TraceAnalysis",
+    "analyze",
+    "build_forest",
+    "critical_path",
+    "folded_stacks",
+    "render_analysis",
+    # registry
+    "RunRegistry",
+    "Comparison",
+    "Regression",
+    "compare_runs",
+    "load_run",
+    "new_record",
+    "render_comparison",
     # taxonomy
     "ALL_COUNTERS",
     "ALL_SPANS",

@@ -1,0 +1,216 @@
+"""Offline analysis of span traces: tree, critical path, folded stacks.
+
+The JSONL traces of :class:`~repro.obs.sinks.JsonlSink` record spans in
+*close* order with their nesting depth and parent name.  That is enough
+to reconstruct the span forest without clock comparisons (starts from
+different processes are incomparable): within one emitting thread spans
+close LIFO, so when a span at depth ``d`` closes, every not-yet-claimed
+span deeper than ``d`` emitted since belongs under it — the direct
+children are the depth ``d+1`` spans naming it as parent.  Snapshots
+replayed from pool workers are contiguous well-nested subsequences, so
+their roots simply become additional forest roots.
+
+On the reconstructed forest this module computes the three classic
+profile views:
+
+* **self vs child time** — ``self = duration − Σ children`` per node,
+  aggregated per span name;
+* **critical path** — the chain from a root obtained by descending into
+  the child with the largest critical cost, where
+  ``cost(node) = self(node) + max(cost(child))``.  The cost is bounded by
+  the root duration and dominates every child's cost (pinned as a
+  hypothesis property in ``tests/test_obs_analytics.py``);
+* **folded stacks** — ``root;child;leaf <self-µs>`` lines, the text
+  format flamegraph tooling consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from .hist import Histogram
+from .report import summarize
+from .sinks import Collector, SpanEvent, replay
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with its children (in close order)."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int = 0
+    parent: Optional[str] = None
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def child_time(self) -> float:
+        return sum(child.duration for child in self.children)
+
+    @property
+    def self_time(self) -> float:
+        """Time not attributed to any child (clamped: clock jitter can
+        make recorded children sum past their parent by nanoseconds)."""
+        return max(0.0, self.duration - self.child_time)
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_forest(events: Iterable[Union[SpanEvent, dict]]) -> list[SpanNode]:
+    """Reconstruct the span forest from close-ordered span events.
+
+    Events deeper than a closing span that do not name it as parent (or
+    skip a depth level) come from a different emitting context — a pool
+    worker's replayed snapshot — and are kept as separate roots rather
+    than mis-attached.
+    """
+    pending: list[SpanNode] = []  # closed, not yet claimed by a parent
+    roots: list[SpanNode] = []
+    for event in events:
+        if isinstance(event, SpanEvent):
+            node = SpanNode(
+                event.name, event.start, event.duration, event.depth, event.parent
+            )
+        else:
+            node = SpanNode(
+                event["name"],
+                event.get("start", 0.0),
+                event["duration"],
+                event.get("depth", 0),
+                event.get("parent"),
+            )
+        children: list[SpanNode] = []
+        while pending and pending[-1].depth > node.depth:
+            candidate = pending.pop()
+            if candidate.depth == node.depth + 1 and candidate.parent == node.name:
+                children.append(candidate)
+            else:
+                roots.append(candidate)
+        node.children = children[::-1]  # back to emission (≈ start) order
+        pending.append(node)
+    roots.extend(pending)
+    return roots
+
+
+def critical_path(root: SpanNode) -> tuple[list[SpanNode], float]:
+    """The heaviest self-time chain from ``root`` and its total cost.
+
+    ``cost = Σ self_time`` along the returned chain; it is at most
+    ``root.duration`` and at least the critical cost of any child.
+    """
+    best_path: list[SpanNode] = []
+    best_cost = 0.0
+    for child in root.children:
+        child_path, child_cost = critical_path(child)
+        if child_cost > best_cost:
+            best_path, best_cost = child_path, child_cost
+    return [root] + best_path, root.self_time + best_cost
+
+
+def folded_stacks(roots: list[SpanNode]) -> dict[str, int]:
+    """Aggregate self time per stack as ``a;b;c -> microseconds``."""
+    folded: dict[str, int] = {}
+    def visit(node: SpanNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        micros = int(node.self_time * 1e6)
+        if micros or not node.children:
+            folded[stack] = folded.get(stack, 0) + micros
+        for child in node.children:
+            visit(child, stack)
+    for root in roots:
+        visit(root, "")
+    return folded
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything ``repro report`` shows for one trace."""
+
+    roots: list[SpanNode]
+    counters: dict[str, int]
+    summary: dict
+    self_times: dict[str, Histogram]
+
+    @property
+    def folded(self) -> dict[str, int]:
+        return folded_stacks(self.roots)
+
+
+def analyze(source: Union[Collector, str, Path]) -> TraceAnalysis:
+    """Analyze a JSONL trace file (or an in-memory collector)."""
+    collector = source if isinstance(source, Collector) else replay(source)
+    roots = build_forest(collector.spans)
+    self_times: dict[str, Histogram] = {}
+    for root in roots:
+        for node in root.walk():
+            hist = self_times.get(node.name)
+            if hist is None:
+                hist = self_times[node.name] = Histogram()
+            hist.record(node.self_time)
+    return TraceAnalysis(
+        roots=roots,
+        counters=dict(collector.counters),
+        summary=summarize(collector),
+        self_times=self_times,
+    )
+
+
+def render_analysis(
+    analysis: TraceAnalysis, top_counters: int = 20, top_stacks: int = 20
+) -> str:
+    """Text report: histograms, critical paths, folded stacks, counters."""
+    from .report import render
+
+    lines = [render(analysis.summary), ""]
+    lines.append("self vs child time:")
+    order = sorted(
+        analysis.self_times.items(),
+        key=lambda item: -item[1].total_ns,
+    )
+    width = max([len(name) for name, _ in order] or [4])
+    for name, hist in order:
+        lines.append(
+            f"  {name.ljust(width)}  self {hist.total_s:>9.6f}s"
+            f"  ({hist.count}x, p50 {hist.percentile(0.5):.6f}s)"
+        )
+    lines.append("")
+    lines.append("critical path (heaviest self-time chain per root):")
+    shown = False
+    for root in analysis.roots:
+        if not root.children and root.duration < 1e-9:
+            continue
+        path, cost = critical_path(root)
+        shown = True
+        lines.append(
+            f"  {root.name}: cost {cost:.6f}s of {root.duration:.6f}s"
+        )
+        for node in path:
+            lines.append(
+                f"    {'  ' * node.depth}{node.name}"
+                f"  self {node.self_time:.6f}s / {node.duration:.6f}s"
+            )
+    if not shown:
+        lines.append("  (no spans)")
+    lines.append("")
+    lines.append(f"folded stacks (top {top_stacks}, self µs):")
+    folded = sorted(analysis.folded.items(), key=lambda item: -item[1])
+    for stack, micros in folded[:top_stacks]:
+        lines.append(f"  {stack} {micros}")
+    if not folded:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append(f"top counters (of {len(analysis.counters)}):")
+    counters = sorted(analysis.counters.items(), key=lambda item: -item[1])
+    if counters:
+        width = max(len(name) for name, _ in counters[:top_counters])
+        for name, value in counters[:top_counters]:
+            lines.append(f"  {name.ljust(width)}  {value}")
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Fixed-bucket log-scale duration histograms.
+
+:class:`Histogram` is the aggregation primitive behind the analytics
+layer: every span name gets one (recorded live by
+:class:`~repro.obs.sinks.Collector`, or rebuilt offline from a trace),
+and percentiles (p50/p90/p99) ride along wherever ``summarize`` blocks
+go — ``--stats`` output, bench JSON artifacts, registry records.
+
+Design constraints, in order:
+
+* **Exactly mergeable** — bucket edges are fixed (not data-dependent), so
+  ``merge(a, b)`` equals recording the union of observations.  Durations
+  are tallied as integer nanoseconds, which keeps ``total``/``min``/``max``
+  exact under merging in any order (float sums are not associative; int
+  sums are).  ``tests/test_obs_analytics.py`` pins this as a hypothesis
+  property.
+* **Picklable** — plain-int state, dict snapshots mirroring the
+  :meth:`~repro.obs.sinks.Collector.snapshot` idiom, and value-based
+  equality so round-trips are checkable.
+* **Cheap** — one ``int.bit_length`` per record; no per-record allocation.
+
+Bucket ``i`` covers durations in ``[2**(i-1), 2**i)`` nanoseconds (bucket
+0 is everything below 1ns); 64 buckets reach ~292 years, so overflow is
+structurally impossible for wall-clock spans.  Percentile estimates return
+the upper edge of the bucket holding the requested rank, clamped to the
+observed min/max — monotone in ``q`` by construction, and never outside
+the observed range.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+#: Number of power-of-two buckets (bucket i spans [2**(i-1), 2**i) ns).
+N_BUCKETS = 64
+
+#: Percentiles folded into :meth:`Histogram.summary` blocks.
+SUMMARY_PERCENTILES = (0.5, 0.9, 0.99)
+
+
+class Histogram:
+    """Log2-bucketed duration histogram over integer nanoseconds."""
+
+    __slots__ = ("buckets", "count", "total_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.buckets: list[int] = [0] * N_BUCKETS
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, seconds: float) -> None:
+        """Record one duration in seconds (negatives clamp to zero)."""
+        self.record_ns(int(seconds * 1e9))
+
+    def record_ns(self, ns: int) -> None:
+        """Record one duration in integer nanoseconds."""
+        if ns < 0:
+            ns = 0
+        index = ns.bit_length()
+        if index >= N_BUCKETS:
+            index = N_BUCKETS - 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total_ns += ns
+        if self.min_ns is None or ns < self.min_ns:
+            self.min_ns = ns
+        if self.max_ns is None or ns > self.max_ns:
+            self.max_ns = ns
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def total_s(self) -> float:
+        return self.total_ns / 1e9
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_ns / self.count / 1e9 if self.count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        return self.max_ns / 1e9 if self.max_ns is not None else 0.0
+
+    @property
+    def min_s(self) -> float:
+        return self.min_ns / 1e9 if self.min_ns is not None else 0.0
+
+    def percentile_ns(self, q: float) -> int:
+        """Estimated q-quantile in nanoseconds (0 when empty).
+
+        Finds the bucket where the cumulative count first reaches
+        ``ceil(q * count)`` and returns its upper edge, clamped to the
+        observed ``[min, max]``.  Clamping keeps estimates inside the data
+        and preserves monotonicity in ``q`` (a monotone map of a monotone
+        sequence).
+        """
+        if not self.count:
+            return 0
+        if q <= 0.0:
+            return self.min_ns or 0
+        rank = min(self.count, max(1, -(-int(q * self.count * 1e9) // 10**9)))
+        cumulative = 0
+        for index, tally in enumerate(self.buckets):
+            cumulative += tally
+            if cumulative >= rank:
+                upper = (1 << index) - 1  # largest ns value bucket i holds
+                return max(self.min_ns or 0, min(self.max_ns or 0, upper))
+        return self.max_ns or 0  # pragma: no cover - cumulative == count
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile in seconds."""
+        return self.percentile_ns(q) / 1e9
+
+    def summary(self) -> dict:
+        """JSON-ready stats block: count/total/mean/percentiles/max."""
+        block = {
+            "count": self.count,
+            "total_s": round(self.total_s, 6),
+            "mean_s": round(self.mean_s, 6),
+        }
+        for q in SUMMARY_PERCENTILES:
+            block[f"p{int(q * 100)}_s"] = round(self.percentile(q), 6)
+        block["max_s"] = round(self.max_s, 6)
+        return block
+
+    # -- merge / snapshot protocol (mirrors Collector) -------------------------
+
+    def merge(self, other: Union["Histogram", dict]) -> "Histogram":
+        """Fold another histogram (or a snapshot) into this one.
+
+        Exact: merging equals recording the union of the two observation
+        streams, in any order.
+        """
+        snap = other.snapshot() if isinstance(other, Histogram) else other
+        for index, tally in snap.get("buckets", {}).items():
+            self.buckets[int(index)] += tally
+        self.count += snap.get("count", 0)
+        self.total_ns += snap.get("total_ns", 0)
+        for attr, keep in (("min_ns", min), ("max_ns", max)):
+            theirs = snap.get(attr)
+            if theirs is not None:
+                ours = getattr(self, attr)
+                setattr(self, attr, theirs if ours is None else keep(ours, theirs))
+        return self
+
+    def snapshot(self) -> dict:
+        """Picklable/JSON-able value (sparse buckets, plain ints)."""
+        return {
+            "buckets": {
+                str(i): tally for i, tally in enumerate(self.buckets) if tally
+            },
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "Histogram":
+        return cls().merge(snapshot)
+
+    @classmethod
+    def of(cls, durations: Iterable[float]) -> "Histogram":
+        """Build a histogram from an iterable of second-durations."""
+        hist = cls()
+        for duration in durations:
+            hist.record(duration)
+        return hist
+
+    # -- value semantics -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.count == other.count
+            and self.total_ns == other.total_ns
+            and self.min_ns == other.min_ns
+            and self.max_ns == other.max_ns
+        )
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, total_s={self.total_s:.6f}, "
+            f"p50={self.percentile(0.5):.6f}, max={self.max_s:.6f})"
+        )
+
+    # __slots__ classes need explicit pickle support.
+    def __getstate__(self) -> dict:
+        return self.snapshot()
+
+    def __setstate__(self, state: dict) -> None:
+        self.buckets = [0] * N_BUCKETS
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns = None
+        self.max_ns = None
+        self.merge(state)

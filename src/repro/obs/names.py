@@ -66,6 +66,11 @@ PARALLEL_TASKS_CANCELLED = "parallel.tasks_cancelled"
 #: tasks after the first one completed (the straggler tail), in nanoseconds.
 PARALLEL_STRAGGLER_WAIT_NS = "parallel.straggler_wait_ns"
 
+#: Parallel runtime: summed observed per-component solve wall clock, in
+#: nanoseconds — the measurement stream feeding the adaptive cost model
+#: (:mod:`repro.core.costmodel`).
+PARALLEL_COMPONENT_WALL_NS = "parallel.component_wall_ns"
+
 #: Shared-memory relation transport: segments/bytes exported once per pooled
 #: process run, cumulative worker attach time, and pickling fallbacks taken
 #: when shared memory is unavailable.
@@ -100,6 +105,7 @@ ALL_COUNTERS = (
     PARALLEL_TASKS_CHUNKED,
     PARALLEL_TASKS_CANCELLED,
     PARALLEL_STRAGGLER_WAIT_NS,
+    PARALLEL_COMPONENT_WALL_NS,
     PARALLEL_SHM_SEGMENTS,
     PARALLEL_SHM_BYTES_EXPORTED,
     PARALLEL_SHM_ATTACH_NS,

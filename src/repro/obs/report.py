@@ -1,62 +1,103 @@
 """Summarizing and rendering collected observability data.
 
 :func:`summarize` reduces a :class:`~repro.obs.sinks.Collector` (or a
-snapshot) to a plain-dict ``obs`` block — per-span count/total/mean/max
-plus the counter map — which is what the bench harness embeds in its JSON
-results and the ``--stats`` CLI flag renders via :func:`render`.
+snapshot) to a plain-dict ``obs`` block — per-span count/total/mean/
+percentiles/max plus the counter map — which is what the bench harness
+embeds in its JSON results, registry records persist, and the ``--stats``
+CLI flag renders via :func:`render`.
+
+Percentiles come from :class:`~repro.obs.hist.Histogram` (fixed log-scale
+buckets), so a summary computed from a merged snapshot equals the merge
+of the per-worker summaries' histograms.  ``render`` indents span names
+by their typical nesting depth (the minimum depth each name was observed
+at), so the ``--stats`` text reads as the call tree it came from.
 """
 
 from __future__ import annotations
 
 from typing import Union
 
+from .hist import Histogram
 from .sinks import Collector
+
+#: Column layout of the rendered span table: (header, summary key, width).
+_SPAN_COLUMNS = (
+    ("count", "count", 6),
+    ("total_s", "total_s", 10),
+    ("mean_s", "mean_s", 10),
+    ("p50_s", "p50_s", 10),
+    ("p90_s", "p90_s", 10),
+    ("p99_s", "p99_s", 10),
+    ("max_s", "max_s", 10),
+)
 
 
 def summarize(source: Union[Collector, dict]) -> dict:
     """Aggregate spans and counters into a JSON-ready ``obs`` block.
 
-    Returns ``{"spans": {name: {count, total_s, mean_s, max_s}},
-    "counters": {name: value}}`` with names sorted for stable output.
+    Returns ``{"spans": {name: {count, total_s, mean_s, p50_s, p90_s,
+    p99_s, max_s, depth}}, "counters": {name: value}}`` with names sorted
+    for stable output.  ``depth`` is the minimum nesting depth the span
+    name was observed at — its typical position in the call tree.
     """
     if isinstance(source, Collector):
         snapshot = source.snapshot()
     else:
         snapshot = source
-    spans: dict[str, dict] = {}
+    hists: dict[str, Histogram] = {}
+    depths: dict[str, int] = {}
     for event in snapshot.get("spans", ()):
-        agg = spans.setdefault(
-            event["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
-        )
-        agg["count"] += 1
-        agg["total_s"] += event["duration"]
-        agg["max_s"] = max(agg["max_s"], event["duration"])
-    for agg in spans.values():
-        agg["mean_s"] = agg["total_s"] / agg["count"]
-        for key in ("total_s", "mean_s", "max_s"):
-            agg[key] = round(agg[key], 6)
+        name = event["name"]
+        hist = hists.get(name)
+        if hist is None:
+            hist = hists[name] = Histogram()
+        hist.record(event["duration"])
+        depth = event.get("depth", 0)
+        if name not in depths or depth < depths[name]:
+            depths[name] = depth
+    spans = {}
+    for name in sorted(hists):
+        block = hists[name].summary()
+        block["depth"] = depths[name]
+        spans[name] = block
     counters = dict(sorted(snapshot.get("counters", {}).items()))
-    return {
-        "spans": {name: spans[name] for name in sorted(spans)},
-        "counters": counters,
-    }
+    return {"spans": spans, "counters": counters}
 
 
 def render(summary: dict) -> str:
-    """Human-readable text of a :func:`summarize` block (``--stats``)."""
+    """Human-readable text of a :func:`summarize` block (``--stats``).
+
+    Span names are indented two spaces per nesting depth, and every
+    column (including the name column and its header) is sized to its
+    widest cell — a span name longer than the header never shifts the
+    numeric columns out of line.
+    """
     lines = ["spans:"]
     spans = summary.get("spans", {})
     if not spans:
         lines.append("  (none)")
     else:
-        width = max(len(name) for name in spans)
+        names = {
+            name: "  " * agg.get("depth", 0) + name
+            for name, agg in spans.items()
+        }
+        name_width = max(len(n) for n in list(names.values()) + ["span"])
+        header = "  " + "span".ljust(name_width)
+        for title, _, width in _SPAN_COLUMNS:
+            header += "  " + title.rjust(width)
+        lines.append(header)
         for name, agg in spans.items():
-            lines.append(
-                f"  {name.ljust(width)}  {agg['count']:>4}x"
-                f"  total {agg['total_s']:.6f}s"
-                f"  mean {agg['mean_s']:.6f}s"
-                f"  max {agg['max_s']:.6f}s"
-            )
+            row = "  " + names[name].ljust(name_width)
+            for _, key, width in _SPAN_COLUMNS:
+                value = agg.get(key)
+                if value is None:
+                    cell = "-"
+                elif key == "count":
+                    cell = str(value)
+                else:
+                    cell = f"{value:.6f}"
+                row += "  " + cell.rjust(width)
+            lines.append(row)
     lines.append("counters:")
     counters = summary.get("counters", {})
     if not counters:

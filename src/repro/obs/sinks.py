@@ -24,6 +24,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, Optional, Union
 
+from .hist import Histogram
+
 
 @dataclass(frozen=True)
 class SpanEvent:
@@ -75,9 +77,18 @@ class Collector(Sink):
     def __init__(self) -> None:
         self.spans: list[SpanEvent] = []
         self.counters: dict[str, int] = {}
+        #: Per-span-name duration histograms, maintained live.  Fully
+        #: derived from ``spans`` — snapshots carry the span list only,
+        #: and every ingestion path (merge, replay) goes through
+        #: :meth:`emit_span`, so the histograms never drift from it.
+        self.hists: dict[str, Histogram] = {}
 
     def emit_span(self, event: SpanEvent) -> None:
         self.spans.append(event)
+        hist = self.hists.get(event.name)
+        if hist is None:
+            hist = self.hists[event.name] = Histogram()
+        hist.record(event.duration)
 
     def emit_count(self, name: str, value: int) -> None:
         self.counters[name] = self.counters.get(name, 0) + value

@@ -33,10 +33,11 @@ buffered; :meth:`flush` force-drains them when the stream ends.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
 from .. import obs
+from ..obs.hist import Histogram
 from ..core.coloring import SearchBudgetExceeded
 from ..core.constraints import ConstraintSet
 from ..core.diva import Diva
@@ -57,6 +58,10 @@ class StreamStats:
     scoped_recomputes: int = 0
     full_recomputes: int = 0
     releases: int = 0
+    #: Wall clock of every publish attempt (the ``stream.publish`` region),
+    #: as a mergeable log-scale histogram — the per-batch latency profile a
+    #: long-running stream reports without keeping per-batch samples.
+    publish_latency: Histogram = field(default_factory=Histogram)
 
     @property
     def extend_ratio(self) -> float:
@@ -178,11 +183,15 @@ class StreamingAnonymizer:
             return None
         if self.ledger.current is None:
             if force or len(self._pending) >= self._bootstrap:
-                with obs.span(obs.SPAN_STREAM_PUBLISH):
-                    return self._publish_full("bootstrap", force)
+                with obs.span(obs.SPAN_STREAM_PUBLISH) as sp:
+                    release = self._publish_full("bootstrap", force)
+                self.stats.publish_latency.record(sp.duration)
+                return release
             return None
-        with obs.span(obs.SPAN_STREAM_PUBLISH):
-            return self._publish_incremental(force)
+        with obs.span(obs.SPAN_STREAM_PUBLISH) as sp:
+            release = self._publish_incremental(force)
+        self.stats.publish_latency.record(sp.duration)
+        return release
 
     def _publish_incremental(self, force: bool) -> Optional[Release]:
         current = self.ledger.current

@@ -376,9 +376,15 @@ class TestReport:
             )
         collector.emit_count("c", 7)
         summary = obs.summarize(collector)
-        assert summary["spans"]["s"] == {
-            "count": 2, "total_s": 2.0, "mean_s": 1.0, "max_s": 1.5,
-        }
+        block = summary["spans"]["s"]
+        assert block["count"] == 2
+        assert block["total_s"] == 2.0
+        assert block["mean_s"] == 1.0
+        assert block["max_s"] == 1.5
+        assert block["depth"] == 0
+        # Histogram percentiles: p50 covers the 0.5s sample's bucket,
+        # every percentile is clamped into [min, max] and monotone in q.
+        assert 0.5 <= block["p50_s"] <= block["p90_s"] <= block["p99_s"] <= 1.5
         assert summary["counters"] == {"c": 7}
         # Accepts raw snapshots too.
         assert obs.summarize(collector.snapshot()) == summary
@@ -426,6 +432,7 @@ class TestTaxonomy:
             "parallel.tasks_chunked",
             "parallel.tasks_cancelled",
             "parallel.straggler_wait_ns",
+            "parallel.component_wall_ns",
             "parallel.shm.segments",
             "parallel.shm.bytes_exported",
             "parallel.shm.attach_ns",
@@ -502,6 +509,16 @@ def _run_diva(relation, sigma, with_sink):
         with obs.collecting() as collector:
             result = solver.run(relation, sigma, 2)
         assert len(collector) > 0
+        # Histogram recording rides along on every span and must stay
+        # inside the neutrality envelope: one histogram per span name,
+        # sample counts matching the spans that produced them.
+        assert collector.hists, "span histograms were not recorded"
+        span_counts: dict[str, int] = {}
+        for event in collector.spans:
+            span_counts[event.name] = span_counts.get(event.name, 0) + 1
+        assert {
+            name: hist.count for name, hist in collector.hists.items()
+        } == span_counts
     else:
         result = solver.run(relation, sigma, 2)
     return {

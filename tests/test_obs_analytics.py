@@ -1,0 +1,178 @@
+"""Property tests for the trace-analytics layer (``obs.hist`` / ``obs.analyze``).
+
+Histograms store integer-nanosecond bucket counts, so merging is exact —
+``merge(a, b)`` must equal recording the union of samples, bucket for
+bucket, not just approximately.  Hypothesis drives that plus percentile
+monotonicity and pickle round-trips.  Critical-path properties are checked
+on randomly generated well-nested span trees: the path cost can never
+exceed the root's wall clock and never undercut the heaviest child chain.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.hist import Histogram
+
+durations_ns = st.integers(min_value=0, max_value=10**12)
+samples = st.lists(durations_ns, min_size=0, max_size=60)
+
+
+class TestHistogramProperties:
+    @given(left=samples, right=samples)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_recording_the_union(self, left, right):
+        a, b = Histogram(), Histogram()
+        for ns in left:
+            a.record_ns(ns)
+        for ns in right:
+            b.record_ns(ns)
+        union = Histogram()
+        for ns in left + right:
+            union.record_ns(ns)
+        a.merge(b)
+        assert a == union
+        assert a.count == len(left) + len(right)
+        assert a.total_ns == sum(left) + sum(right)
+
+    @given(data=samples.filter(len))
+    @settings(max_examples=200, deadline=None)
+    def test_percentiles_monotone_and_bounded(self, data):
+        hist = Histogram.of(ns / 1e9 for ns in data)
+        previous = None
+        for q in (0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            value = hist.percentile_ns(q)
+            assert hist.min_ns <= value <= hist.max_ns
+            if previous is not None:
+                assert value >= previous
+            previous = value
+
+    @given(data=samples)
+    @settings(max_examples=100, deadline=None)
+    def test_pickle_round_trip(self, data):
+        hist = Histogram()
+        for ns in data:
+            hist.record_ns(ns)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone == hist
+        assert clone.summary() == hist.summary()
+        # A restored histogram keeps recording correctly.
+        clone.record_ns(5)
+        assert clone.count == hist.count + 1
+
+    @given(data=samples)
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_round_trip(self, data):
+        hist = Histogram()
+        for ns in data:
+            hist.record_ns(ns)
+        assert Histogram.from_snapshot(hist.snapshot()) == hist
+
+    def test_merge_accepts_snapshots(self):
+        a = Histogram.of([0.25, 0.5])
+        b = Histogram.of([1.0])
+        merged = Histogram.of([0.25, 0.5, 1.0])
+        a.merge(b.snapshot())
+        assert a == merged
+
+
+# -- random well-nested span trees ---------------------------------------------
+
+
+@st.composite
+def span_trees(draw, depth=0, max_depth=3):
+    """A (name, self_ns, children) tuple with bounded fanout and depth."""
+    name = draw(st.sampled_from(["alpha", "beta", "gamma", "delta"]))
+    self_ns = draw(st.integers(min_value=1_000, max_value=10**9))
+    children = []
+    if depth < max_depth:
+        children = draw(
+            st.lists(
+                span_trees(depth=depth + 1, max_depth=max_depth),
+                min_size=0,
+                max_size=3,
+            )
+        )
+    return (name, self_ns, children)
+
+
+def _emit(sink, tree, start, depth, parent):
+    """Replay a tree as SpanEvents in close order (children before parent)."""
+    name, self_ns, children = tree
+    cursor = start + (self_ns / 1e9) / 2
+    total = self_ns / 1e9
+    for child in children:
+        child_duration = _emit(sink, child, cursor, depth + 1, name)
+        cursor += child_duration
+        total += child_duration
+    sink.emit_span(
+        obs.SpanEvent(
+            name=name, start=start, duration=total, depth=depth, parent=parent
+        )
+    )
+    return total
+
+
+class TestCriticalPathProperties:
+    @given(tree=span_trees())
+    @settings(max_examples=150, deadline=None)
+    def test_bounds_on_random_trees(self, tree):
+        collector = obs.Collector()
+        _emit(collector, tree, start=0.0, depth=0, parent=None)
+        roots = obs.build_forest(collector.spans)
+        assert len(roots) == 1
+        root = roots[0]
+
+        path, cost = obs.critical_path(root)
+        # The path starts at the root and is a chain (each node a child of
+        # the previous one).
+        assert path[0] is root
+        for parent, child in zip(path, path[1:]):
+            assert child in parent.children
+        # Cost can never exceed the root's wall clock...
+        assert cost <= root.duration + 1e-6
+        # ...and never undercuts the heaviest immediate child's own path.
+        for child in root.children:
+            _, child_cost = obs.critical_path(child)
+            assert cost + 1e-9 >= child_cost
+        # Self time on the path is what the cost sums up.
+        assert cost == pytest.approx(sum(n.self_time for n in path))
+
+    @given(tree=span_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_folded_stacks_conserve_wall_clock(self, tree):
+        collector = obs.Collector()
+        _emit(collector, tree, start=0.0, depth=0, parent=None)
+        roots = obs.build_forest(collector.spans)
+        folded = obs.folded_stacks(roots)
+        assert all(";" in k or k for k in folded)
+        total_us = sum(folded.values())
+        root_us = int(roots[0].duration * 1e6)
+        # Folded self-times tile the root's wall clock.  Integer-µs slack
+        # per *node*: every frame floors its self-time (≤ 1µs low), and a
+        # non-leaf frame whose self-time floors to 0 is dropped entirely.
+        n_nodes = sum(1 for _ in roots[0].walk())
+        assert abs(total_us - root_us) <= n_nodes + 1
+
+    def test_forest_handles_worker_subsequences(self):
+        """Merged pool-worker snapshots are depth-0 subsequences; each
+        becomes its own root instead of attaching to a foreign parent."""
+        collector = obs.Collector()
+        for worker in range(3):
+            collector.emit_span(
+                obs.SpanEvent(
+                    name="coloring.search",
+                    start=float(worker),
+                    duration=0.5,
+                    depth=0,
+                    parent=None,
+                )
+            )
+        roots = obs.build_forest(collector.spans)
+        assert len(roots) == 3
+        assert all(not r.children for r in roots)
