@@ -20,29 +20,25 @@ from __future__ import annotations
 
 import itertools
 import math
-from collections.abc import Iterator, Sequence
+from collections.abc import Sequence
 from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..data.relation import Relation
 from .constraints import DiversityConstraint
+from .costmodel import enumeration_size_caps
+from .enumeration import (  # noqa: F401  (re-exported for back-compat)
+    EXHAUSTIVE_COMBINATION_LIMIT,
+    PARTITIONS_PER_SUBSET,
+    SMALL_SUBSET_LIMIT,
+    _clustering_key,
+    _partitions_min_block,
+    enumerate_pool,
+)
 from .index import RelationIndex, get_index, vectorized_enabled
 from .suppress import normalize_clustering
-
-#: Exhaustively enumerate subsets when the number of combinations per size is
-#: below this; otherwise fall back to similarity-guided + random sampling.
-EXHAUSTIVE_COMBINATION_LIMIT = 3_000
-
-#: How many partitions of a single subset to consider (the single-block
-#: partition plus a few balanced splits).
-PARTITIONS_PER_SUBSET = 4
-
-#: Subsets up to this size get combinatorial partition enumeration; larger
-#: ones get a single greedy similarity-chunked k-partition (one cluster per
-#: ~k similar tuples), which is how large proportional constraints stay
-#: tractable and low-suppression.
-SMALL_SUBSET_LIMIT = 8
 
 
 def qi_hamming_rows(row_a: Sequence, row_b: Sequence) -> int:
@@ -202,43 +198,6 @@ def greedy_k_partition(
     return tuple(blocks)
 
 
-def _partitions_min_block(
-    items: tuple[int, ...], k: int, limit: int
-) -> Iterator[tuple[frozenset, ...]]:
-    """Partitions of ``items`` into blocks of size ≥ k, at most ``limit``.
-
-    The single-block partition comes first (it is always valid since callers
-    guarantee ``len(items) >= k``); further partitions are produced by a
-    standard recursive set-partition enumeration filtered on block size.
-    """
-    yield (frozenset(items),)
-    if limit <= 1 or len(items) < 2 * k:
-        return
-    produced = 1
-
-    def recurse(remaining: tuple[int, ...]) -> Iterator[tuple[frozenset, ...]]:
-        """All ≥k-block partitions of ``remaining`` (including single-block)."""
-        if len(remaining) >= k:
-            yield (frozenset(remaining),)
-        if len(remaining) < 2 * k:
-            return
-        first, rest = remaining[0], remaining[1:]
-        # Choose the block containing `first`; recurse on the remainder.
-        for block_minus in itertools.combinations(rest, k - 1):
-            block = frozenset((first,) + block_minus)
-            leftover = tuple(x for x in rest if x not in block)
-            for sub in recurse(leftover):
-                yield (block,) + sub
-
-    for partition in recurse(items):
-        if len(partition) == 1:
-            continue  # already yielded the single-block form
-        yield partition
-        produced += 1
-        if produced >= limit:
-            return
-
-
 def _nearest_by_hamming(
     seed: int,
     candidates: list[int],
@@ -272,12 +231,16 @@ def _similarity_seeded_subsets(
     pool tuple seeds one subset grown by repeatedly adding the closest (by
     QI Hamming distance) remaining tuple — these are the low-suppression
     candidates.  Random subsets fill the remainder for search diversity.
+
+    ``rng.choice`` yields NumPy integer scalars; both sampled paths coerce
+    to built-in ``int`` at the boundary so sampled subsets carry the same
+    tid types (and dedup keys) as the exhaustive ``itertools`` path.
     """
     subsets: list[tuple[int, ...]] = []
     seen: set[tuple[int, ...]] = set()
-    seeds = pool if len(pool) <= cap else list(
-        rng.choice(pool, size=cap, replace=False)
-    )
+    seeds = pool if len(pool) <= cap else [
+        int(t) for t in rng.choice(pool, size=cap, replace=False)
+    ]
 
     for seed in seeds:
         candidates = [t for t in pool if t != seed]
@@ -292,7 +255,9 @@ def _similarity_seeded_subsets(
     attempts = 0
     while len(subsets) < cap and attempts < 4 * cap:
         attempts += 1
-        pick = tuple(sorted(rng.choice(pool, size=size, replace=False)))
+        pick = tuple(
+            int(t) for t in sorted(rng.choice(pool, size=size, replace=False))
+        )
         if pick not in seen:
             seen.add(pick)
             subsets.append(pick)
@@ -318,6 +283,13 @@ def enumerate_clusterings(
 
     ``target_tids`` lets callers pass a precomputed ``Iσ`` (e.g. the graph
     builder already has it).
+
+    The vectorized backend dispatches the generation to the memoized
+    rank-space engine (:mod:`repro.core.enumeration`); the reference
+    backend runs :func:`_enumerate_generic`, the retained pure-Python
+    oracle the engine is pinned byte-identical against.  Both share the
+    cost-model per-size sampling caps, emit the ``enum.generate`` span
+    and report subsets-generated / dominated-pruned counters.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -328,7 +300,12 @@ def enumerate_clusterings(
         # σ touches no QI attribute: suppression cannot change its count, so
         # no clustering is needed (feasibility is a global precheck).
         return [()]
-    pool = sorted(target_tids if target_tids is not None else sigma.target_tids(relation))
+    pool = sorted(
+        int(t)
+        for t in (
+            target_tids if target_tids is not None else sigma.target_tids(relation)
+        )
+    )
     lo = max(k, sigma.lower)
     hi = min(sigma.upper, len(pool))
     if sigma.lower == 0:
@@ -339,7 +316,67 @@ def enumerate_clusterings(
     if hi < lo:
         return candidates
 
-    index = get_index(relation) if vectorized_enabled() else None
+    budget = max_candidates * 3  # oversample, then keep the cheapest
+    caps = enumeration_size_caps(lo, hi, budget, k, schema=relation.schema)
+    with obs.span(obs.SPAN_ENUM_GENERATE):
+        if vectorized_enabled():
+            body, generated, pruned = enumerate_pool(
+                get_index(relation),
+                pool,
+                k,
+                lo,
+                hi,
+                max_candidates,
+                caps,
+                rng,
+                already=len(candidates),
+            )
+        else:
+            body, generated, pruned = _enumerate_generic(
+                relation,
+                pool,
+                k,
+                lo,
+                hi,
+                max_candidates,
+                caps,
+                rng,
+                already=len(candidates),
+            )
+    if obs.enabled():
+        obs.incr_many(
+            {
+                obs.ENUM_SUBSETS_GENERATED: generated,
+                obs.ENUM_DOMINATED_PRUNED: pruned,
+            }
+        )
+    candidates.extend(body)
+    return candidates
+
+
+def _enumerate_generic(
+    relation: Relation,
+    pool: list[int],
+    k: int,
+    lo: int,
+    hi: int,
+    max_candidates: int,
+    caps: dict[int, int],
+    rng: np.random.Generator,
+    already: int = 0,
+    index: Optional[RelationIndex] = None,
+) -> tuple[list[tuple[frozenset, ...]], int, int]:
+    """Reference enumeration body: the oracle the vectorized engine is
+    pinned against.
+
+    Generates subsets and partitions one at a time (``itertools`` loops,
+    one kernel/reference call per seed ordering, partition and score),
+    then full-sorts, dedups and caps.  Returns ``(clusterings,
+    subsets_generated, dominated_pruned)``; ``already`` counts caller-
+    seeded candidates toward the cap.  Pass ``index`` to score and order
+    through per-call :class:`RelationIndex` kernels — the pre-engine
+    vectorized path, kept measurable for the enumeration benchmark.
+    """
     if index is None:
         schema = relation.schema
         qi_positions = [schema.position(a) for a in schema.qi_names]
@@ -362,6 +399,7 @@ def enumerate_clusterings(
         return total
 
     scored: list[tuple[int, int, tuple[frozenset, ...]]] = []
+    generated = 0
     budget = max_candidates * 3  # oversample, then keep the cheapest
     for size in range(lo, hi + 1):
         if len(scored) >= budget:
@@ -370,10 +408,10 @@ def enumerate_clusterings(
         if n_combos <= EXHAUSTIVE_COMBINATION_LIMIT:
             subsets = list(itertools.combinations(pool, size))
         else:
-            per_size_cap = max(8, budget // max(1, hi + 1 - lo))
             subsets = _similarity_seeded_subsets(
-                qi_rows, pool, size, rng, per_size_cap, index=index
+                qi_rows, pool, size, rng, caps[size], index=index
             )
+        generated += len(subsets)
         for subset in subsets:
             if len(subset) <= SMALL_SUBSET_LIMIT:
                 partitions = _partitions_min_block(
@@ -391,20 +429,18 @@ def enumerate_clusterings(
 
     scored.sort(key=lambda item: (item[0], item[1], _clustering_key(item[2])))
     seen: set[tuple] = set()
+    body: list[tuple[frozenset, ...]] = []
+    total = already
     for cost, size, clustering in scored:
         key = _clustering_key(clustering)
         if key in seen:
             continue
         seen.add(key)
-        candidates.append(clustering)
-        if len(candidates) >= max_candidates:
+        body.append(clustering)
+        total += 1
+        if total >= max_candidates:
             break
-    return candidates
-
-
-def _clustering_key(clustering: tuple[frozenset, ...]) -> tuple:
-    """Hashable canonical identity of a clustering."""
-    return tuple(tuple(sorted(c)) for c in clustering)
+    return body, generated, len(scored) - len(body)
 
 
 def _n_combinations(n: int, r: int) -> int:

@@ -208,13 +208,35 @@ class ColoringSearch:
         else:
             self._qi_rows = None
         # Precompute each distinct cluster's contribution per constraint
-        # (extended lazily for dynamically generated clusters).
+        # (extended lazily for dynamically generated clusters).  On the
+        # vectorized backend this is batched: one memo-writing segment
+        # reduction per QI constraint over all distinct static clusters,
+        # instead of one preserved_count call per (cluster, σ) pair.
         self._contrib: dict[frozenset, tuple[tuple[int, int], ...]] = {}
+        distinct: list[frozenset] = []
         for candidates in self._candidates.values():
             for clustering in candidates:
                 for cluster in clustering:
                     if cluster not in self._contrib:
-                        self._contrib[cluster] = self._cluster_contributions(cluster)
+                        self._contrib[cluster] = ()
+                        distinct.append(cluster)
+        if self._index is not None and distinct:
+            qi = set(relation.schema.qi_names)
+            per_node = [
+                (
+                    node.index,
+                    self._index.preserved_count_batch(distinct, node.constraint),
+                )
+                for node in self.graph
+                if any(a in qi for a in node.constraint.attrs)
+            ]
+            for i, cluster in enumerate(distinct):
+                self._contrib[cluster] = tuple(
+                    (j, int(counts[i])) for j, counts in per_node if counts[i]
+                )
+        else:
+            for cluster in distinct:
+                self._contrib[cluster] = self._cluster_contributions(cluster)
         # Live assignment state.
         self._cluster_refs: dict[frozenset, int] = {}
         self._covered: dict[int, int] = {}

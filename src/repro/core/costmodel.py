@@ -160,6 +160,49 @@ class CostModel:
         return (w_pool, w_mass)
 
 
+# -- enumeration budget allocation ---------------------------------------------
+
+
+def enumeration_size_caps(
+    lo: int, hi: int, budget: int, k: int, schema=None
+) -> dict[int, int]:
+    """Per-subset-size sampling caps for candidate enumeration.
+
+    Splits the enumeration oversampling ``budget`` across the subset sizes
+    ``lo..hi`` of one constraint.  Uncalibrated, every size gets the same
+    flat cap (the historical ``max(8, budget // n_sizes)`` policy).  With a
+    calibrated model for this schema family, caps are allocated inversely
+    to each size's estimated per-candidate cost — ``w_pool`` scales with
+    the tuples touched per subset (|S| = s) and ``w_mass`` with the blocks
+    scored per clustering (≈ s / k) — so the cheap small sizes, which the
+    ascending-size loop visits first, are exhausted before the budget runs
+    out on expensive large ones.
+
+    Both kernel backends consult this one policy (it feeds the enumeration
+    memo key), so calibration shifts sampling identically everywhere and
+    cross-backend equivalence is preserved.
+    """
+    if hi < lo:
+        return {}
+    base = max(8, budget // max(1, hi + 1 - lo))
+    sizes = range(lo, hi + 1)
+    weights = None
+    if schema is not None:
+        model = get_cost_model()
+        if model is not None:
+            weights = model.weights(schema_key(schema))
+    if weights is None:
+        return {s: base for s in sizes}
+    w_pool, w_mass = weights
+    unit = {s: w_pool * s + w_mass * max(1.0, s / k) for s in sizes}
+    floor = min(u for u in unit.values() if u > 0.0) if any(unit.values()) else 0.0
+    if floor <= 0.0:
+        return {s: base for s in sizes}
+    inverse = {s: 1.0 / max(u, floor) for s, u in unit.items()}
+    total = sum(inverse.values())
+    return {s: max(8, int(budget * inverse[s] / total)) for s in sizes}
+
+
 # -- process-global configuration ----------------------------------------------
 
 _ACTIVE: Optional[CostModel] = None

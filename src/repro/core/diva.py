@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from ..anonymize import Anonymizer
 from .coloring import ColoringSearch, SearchBudgetExceeded, SearchStats
 from .constraints import ConstraintSet, DiversityConstraint
+from .enumeration import get_enum_memo
 from .errors import UnsatisfiableError
 from .index import get_index, vectorized_enabled
 from .integrate import IntegrationReport, integrate
@@ -197,11 +198,14 @@ class Diva:
         problem = KSigmaProblem(relation, constraints, k)
         rng = self._fresh_rng()
 
-        # Kernel cluster-cache counters are cumulative on the shared index,
-        # so report this run's contribution as a delta.
+        # Kernel cluster-cache and enumeration-memo counters are cumulative
+        # (the index and the process-global memo outlive any single run),
+        # so report this run's contribution as deltas.
         cache_before = None
+        enum_before = None
         if obs.enabled() and vectorized_enabled():
             cache_before = dict(get_index(relation).cache_stats())
+            enum_before = dict(get_enum_memo().stats())
 
         active = constraints
         dropped: list[DiversityConstraint] = []
@@ -286,6 +290,15 @@ class Diva:
                 run_counters[obs.INDEX_CLUSTER_CACHE_MISSES] = (
                     cache_after["cluster_cache_misses"]
                     - cache_before["cluster_cache_misses"]
+                )
+            if enum_before is not None:
+                enum_after = get_enum_memo().stats()
+                run_counters[obs.ENUM_MEMO_HITS] = (
+                    enum_after["enum_memo_hits"] - enum_before["enum_memo_hits"]
+                )
+                run_counters[obs.ENUM_MEMO_MISSES] = (
+                    enum_after["enum_memo_misses"]
+                    - enum_before["enum_memo_misses"]
                 )
             obs.incr_many(run_counters)
 

@@ -467,6 +467,63 @@ class RelationIndex:
             counts = nonqi
         return total + int(counts.sum())
 
+    def preserved_count_batch(
+        self, clusters: Sequence[frozenset], sigma: DiversityConstraint
+    ) -> np.ndarray:
+        """Per-cluster preserved counts for ``clusters``, as one array.
+
+        The batched twin of :meth:`preserved_count` for callers that need
+        every cluster's individual contribution (the coloring search
+        precomputes each static candidate cluster's contribution against
+        each constraint): memo hits are read out directly, all misses are
+        evaluated in one segment reduction, and — unlike
+        :meth:`preserved_count_many`, whose callers score one-off
+        clusterings — every miss is **written back** to the memo, exactly
+        as the per-cluster calls it replaces did, so the search's lazy
+        lookups and the hit/miss tallies behave identically.
+        """
+        sub = self._pc_cache.get(sigma)
+        if sub is None:
+            sub = self._pc_cache[sigma] = {}
+        out = np.zeros(len(clusters), dtype=np.int64)
+        missing: list[frozenset] = []
+        positions: list[int] = []
+        for i, cluster in enumerate(clusters):
+            cached = sub.get(cluster)
+            if cached is None:
+                self._pc_misses += 1
+                if cluster:
+                    missing.append(cluster)
+                    positions.append(i)
+                else:
+                    sub[cluster] = 0
+            else:
+                self._pc_hits += 1
+                out[i] = cached
+        if not missing:
+            return out
+        art = self.artifacts(sigma)
+        lengths = np.fromiter(
+            (len(c) for c in missing), dtype=np.intp, count=len(missing)
+        )
+        concat = self._concat_rows(missing, int(lengths.sum()))
+        offsets = np.zeros(len(missing), dtype=np.intp)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        nonqi = np.add.reduceat(art.nonqi_mask[concat], offsets, dtype=np.int64)
+        if art.qi_cols.size:
+            cols, vals = art.qi_cols, art.qi_value_codes
+            row_ok = self.codes[concat, cols[0]] == vals[0]
+            for j in range(1, cols.size):
+                row_ok &= self.codes[concat, cols[j]] == vals[j]
+            qi_ok = np.add.reduceat(row_ok, offsets, dtype=np.int64) == lengths
+            counts = np.where(qi_ok, nonqi, 0)
+        else:
+            counts = nonqi
+        for cluster, pos, count in zip(missing, positions, counts.tolist()):
+            sub[cluster] = count
+            out[pos] = count
+        return out
+
     # -- Hamming kernels -----------------------------------------------------
 
     def qi_hamming(self, tid_a: int, tid_b: int) -> int:

@@ -36,6 +36,10 @@ from .names import (  # noqa: F401
     COLORING_NODES_EXPANDED,
     COLORING_PRUNES,
     DIVA_CONSTRAINTS_DROPPED,
+    ENUM_DOMINATED_PRUNED,
+    ENUM_MEMO_HITS,
+    ENUM_MEMO_MISSES,
+    ENUM_SUBSETS_GENERATED,
     GRAPH_EDGES,
     GRAPH_NODES,
     INDEX_CLUSTER_CACHE_HITS,
@@ -56,6 +60,7 @@ from .names import (  # noqa: F401
     SPAN_COLORING_SEARCH,
     SPAN_DIVA_RUN,
     SPAN_DIVERSE_CLUSTERING,
+    SPAN_ENUM_GENERATE,
     SPAN_ENUMERATE_CANDIDATES,
     SPAN_GRAPH_BUILD,
     SPAN_INTEGRATE,

@@ -27,6 +27,21 @@ COLORING_CONSISTENCY_CHECKS = "coloring.consistency_checks"
 INDEX_CLUSTER_CACHE_HITS = "index.cluster_cache_hits"
 INDEX_CLUSTER_CACHE_MISSES = "index.cluster_cache_misses"
 
+#: Candidate enumeration: subsets materialized per call and scored
+#: candidates dropped by the top-``max_candidates`` (cost, size) cutoff
+#: before frozenset materialization (dominated: a same-size candidate
+#: exists at no higher cost for every kept slot).  Emitted identically by
+#: both kernel backends and on memo hits, so enumeration-effort counters
+#: never depend on cache temperature or backend.
+ENUM_SUBSETS_GENERATED = "enum.subsets_generated"
+ENUM_DOMINATED_PRUNED = "enum.dominated_pruned"
+
+#: Enumeration memo (content-addressed, process-global — see
+#: :mod:`repro.core.enumeration`): cumulative tallies, emitted as deltas
+#: around each DIVA run, mirroring the INDEX_CLUSTER_CACHE_* pattern.
+ENUM_MEMO_HITS = "enum.memo_hits"
+ENUM_MEMO_MISSES = "enum.memo_misses"
+
 #: Cells starred by the Suppress phase (RΣ), per DIVA run.
 SUPPRESS_CELLS_STARRED = "suppress.cells_starred"
 
@@ -89,6 +104,10 @@ ALL_COUNTERS = (
     COLORING_CONSISTENCY_CHECKS,
     INDEX_CLUSTER_CACHE_HITS,
     INDEX_CLUSTER_CACHE_MISSES,
+    ENUM_SUBSETS_GENERATED,
+    ENUM_DOMINATED_PRUNED,
+    ENUM_MEMO_HITS,
+    ENUM_MEMO_MISSES,
     SUPPRESS_CELLS_STARRED,
     DIVA_CONSTRAINTS_DROPPED,
     KMEMBER_CLUSTERS,
@@ -123,6 +142,11 @@ SPAN_REFINE = "diva.refine"
 SPAN_GRAPH_BUILD = "graph.build"
 SPAN_COLORING_SEARCH = "coloring.search"
 SPAN_ENUMERATE_CANDIDATES = "coloring.enumerate_candidates"
+
+#: One ``enumerate_clusterings`` call: batched generation + scoring +
+#: cutoff selection (or a memo hit), nested inside the per-search
+#: ``coloring.enumerate_candidates`` span.
+SPAN_ENUM_GENERATE = "enum.generate"
 SPAN_KMEMBER_CLUSTER = "kmember.cluster"
 
 #: Streaming engine: one ingest call; one publish (release computation +
@@ -147,6 +171,7 @@ ALL_SPANS = (
     SPAN_GRAPH_BUILD,
     SPAN_COLORING_SEARCH,
     SPAN_ENUMERATE_CANDIDATES,
+    SPAN_ENUM_GENERATE,
     SPAN_KMEMBER_CLUSTER,
     SPAN_STREAM_INGEST,
     SPAN_STREAM_PUBLISH,

@@ -41,7 +41,9 @@ from ..obs.hist import Histogram
 from ..core.coloring import SearchBudgetExceeded
 from ..core.constraints import ConstraintSet
 from ..core.diva import Diva
+from ..core.enumeration import get_enum_memo
 from ..core.errors import UnsatisfiableError
+from ..core.index import vectorized_enabled
 from ..data.relation import Relation, Schema
 from .admission import AdmissionState, residual_constraints
 from .ledger import Release, ReleaseLedger, ReleaseValidationError
@@ -58,6 +60,12 @@ class StreamStats:
     scoped_recomputes: int = 0
     full_recomputes: int = 0
     releases: int = 0
+    #: Enumeration-memo traffic attributable to this engine's publishes
+    #: (deltas of the process-global memo captured around each publish;
+    #: zero on the reference backend, which has no memo).  Repeated scoped
+    #: recomputes over recurring QI pools show up here as hits.
+    enum_memo_hits: int = 0
+    enum_memo_misses: int = 0
     #: Wall clock of every publish attempt (the ``stream.publish`` region),
     #: as a mergeable log-scale histogram — the per-batch latency profile a
     #: long-running stream reports without keeping per-batch samples.
@@ -183,14 +191,18 @@ class StreamingAnonymizer:
             return None
         if self.ledger.current is None:
             if force or len(self._pending) >= self._bootstrap:
+                memo_before = self._memo_stats()
                 with obs.span(obs.SPAN_STREAM_PUBLISH) as sp:
                     release = self._publish_full("bootstrap", force)
                 self.stats.publish_latency.record(sp.duration)
+                self._record_memo_delta(memo_before)
                 return release
             return None
+        memo_before = self._memo_stats()
         with obs.span(obs.SPAN_STREAM_PUBLISH) as sp:
             release = self._publish_incremental(force)
         self.stats.publish_latency.record(sp.duration)
+        self._record_memo_delta(memo_before)
         return release
 
     def _publish_incremental(self, force: bool) -> Optional[Release]:
@@ -338,6 +350,20 @@ class StreamingAnonymizer:
         return release
 
     # -- helpers ---------------------------------------------------------------
+
+    def _memo_stats(self) -> Optional[dict[str, int]]:
+        if not vectorized_enabled():
+            return None
+        return dict(get_enum_memo().stats())
+
+    def _record_memo_delta(self, before: Optional[dict[str, int]]) -> None:
+        if before is None:
+            return
+        after = get_enum_memo().stats()
+        self.stats.enum_memo_hits += after["enum_memo_hits"] - before["enum_memo_hits"]
+        self.stats.enum_memo_misses += (
+            after["enum_memo_misses"] - before["enum_memo_misses"]
+        )
 
     def _after_publish(
         self, release: Release, residuals: list[tuple[int, tuple]]

@@ -416,6 +416,10 @@ class TestTaxonomy:
             "coloring.consistency_checks",
             "index.cluster_cache_hits",
             "index.cluster_cache_misses",
+            "enum.subsets_generated",
+            "enum.dominated_pruned",
+            "enum.memo_hits",
+            "enum.memo_misses",
             "suppress.cells_starred",
             "diva.constraints_dropped",
             "kmember.clusters",
@@ -450,6 +454,7 @@ class TestTaxonomy:
             "graph.build",
             "coloring.search",
             "coloring.enumerate_candidates",
+            "enum.generate",
             "kmember.cluster",
             "stream.ingest",
             "stream.publish",
