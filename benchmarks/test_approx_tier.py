@@ -1,0 +1,129 @@
+"""Quality-vs-speed benchmark for the approximation solver tier.
+
+The ISSUE-7 headline artifact (``BENCH_approx.json``, registry-backed):
+a (k, Σ) grid over conflicted census workloads where
+
+* on configurations the exact tier solves within the step budget, the
+  approx tier's suppression cost is recorded as a ratio against exact
+  (quality), alongside the wall-clock ratio (speed);
+* on configurations where exact raises :class:`SearchBudgetExceeded` —
+  the gate requires at least one — the approx tier must still produce a
+  release, and every approx release must pass the exact validators
+  (:meth:`KSigmaProblem.validate_solution`, ``is_k_anonymous``,
+  ``check_diversity``).
+
+Excluded from tier-1 runs by the ``bench`` marker; run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_approx_tier.py -m bench -s -p no:cacheprovider
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.bench.reporting import write_bench_artifact
+from repro.core.coloring import SearchBudgetExceeded
+from repro.core.diva import run_diva
+from repro.core.problem import KSigmaProblem
+from repro.data.datasets import make_census
+from repro.metrics.diversity_check import check_diversity
+from repro.metrics.stats import is_k_anonymous
+from repro.workloads.constraint_gen import conflicted_constraints
+
+pytestmark = pytest.mark.bench
+
+MAX_STEPS = 20_000
+
+#: (n_rows, k, |Σ|, target conflict rate) — the first two are within the
+#: exact tier's reach (quality points); the last two exhaust its budget
+#: (graceful-degradation points, the artifact's reason to exist).
+GRID = [
+    (800, 2, 8, 0.7),
+    (800, 2, 10, 0.9),
+    (800, 5, 8, 0.7),
+    (1200, 5, 10, 0.8),
+]
+
+
+def _run(relation, sigma, k, solver):
+    start = time.perf_counter()
+    try:
+        result = run_diva(relation, sigma, k, max_steps=MAX_STEPS, solver=solver)
+    except SearchBudgetExceeded:
+        return {"outcome": "budget", "wall_s": round(time.perf_counter() - start, 6)}
+    wall = time.perf_counter() - start
+    return {
+        "outcome": "success",
+        "wall_s": round(wall, 6),
+        "stars": result.relation.star_count(),
+        "relation": result.relation,
+    }
+
+
+def test_approx_quality_vs_speed():
+    rows = []
+    budget_points_solved = 0
+    for n_rows, k, n_sigma, cf in GRID:
+        relation = make_census(seed=3, n_rows=n_rows)
+        sigma = conflicted_constraints(relation, n_sigma, cf, k=k, seed=3)
+        problem = KSigmaProblem(relation, sigma, k)
+        exact = _run(relation, sigma, k, "exact")
+        approx = _run(relation, sigma, k, "approx")
+
+        # Conformance: every approx release passes the exact validators.
+        assert approx["outcome"] == "success", (
+            f"approx tier failed on n={n_rows} k={k} |Σ|={n_sigma} cf={cf}"
+        )
+        release = approx.pop("relation")
+        failures = problem.validate_solution(release)
+        assert not failures, failures
+        assert is_k_anonymous(release, k)
+        assert all(v.satisfied for v in check_diversity(release, sigma))
+
+        row = {
+            "n_rows": n_rows,
+            "k": k,
+            "n_constraints": n_sigma,
+            "target_cf": cf,
+            "exact_outcome": exact["outcome"],
+            "exact_wall_s": exact["wall_s"],
+            "approx_wall_s": approx["wall_s"],
+            "approx_stars": approx["stars"],
+        }
+        if exact["outcome"] == "success":
+            row["exact_stars"] = exact["stars"]
+            row["cost_ratio"] = round(
+                approx["stars"] / exact["stars"], 4
+            ) if exact["stars"] else None
+            row["speedup"] = round(exact["wall_s"] / approx["wall_s"], 2)
+        else:
+            budget_points_solved += 1
+        rows.append(row)
+
+    # The artifact's gate: the tier must solve at least one configuration
+    # that exact cannot touch at this budget.
+    assert budget_points_solved >= 1, (
+        f"no grid point exhausted the exact budget ({MAX_STEPS} steps); "
+        "the graceful-degradation claim is unexercised"
+    )
+
+    quality = [r["cost_ratio"] for r in rows if "cost_ratio" in r]
+    payload = {
+        "max_steps": MAX_STEPS,
+        "grid": rows,
+        "budget_points_solved_by_approx": budget_points_solved,
+        "worst_cost_ratio": max(quality) if quality else None,
+    }
+    record = write_bench_artifact(
+        "approx",
+        payload,
+        config={"max_steps": MAX_STEPS, "grid_size": len(GRID)},
+        metrics={
+            "approx_solve_s": max(r["approx_wall_s"] for r in rows),
+            "worst_cost_ratio": max(quality) if quality else None,
+        },
+    )
+    print(json.dumps(record, indent=2))

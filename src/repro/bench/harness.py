@@ -67,6 +67,7 @@ def run_diva_point(
     executor: str = "thread",
     registry=None,
     registry_label: str = "diva-point",
+    solver: str = "exact",
 ) -> SeriesPoint:
     """Run DIVA once (or averaged over trials) and measure the output.
 
@@ -87,20 +88,21 @@ def run_diva_point(
     outputs = {}
 
     def once(trial: int):
-        solver = Diva(
+        diva = Diva(
             strategy=strategy,
             best_effort=True,
             max_steps=max_steps,
             seed=seed + trial,
             max_workers=max_workers,
             executor=executor,
+            solver=solver,
         )
         if collect_obs:
             with obs.collecting() as collector:
-                result = solver.run(relation, constraints, k)
+                result = diva.run(relation, constraints, k)
             outputs["obs"] = obs.summarize(collector)
         else:
-            result = solver.run(relation, constraints, k)
+            result = diva.run(relation, constraints, k)
         outputs["result"] = result
         return result
 
@@ -137,6 +139,7 @@ def run_diva_point(
                     "n_constraints": len(constraints),
                     "k": k,
                     "strategy": strategy,
+                    "solver": solver,
                     "workers": max_workers,
                     "executor": executor,
                 },

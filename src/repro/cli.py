@@ -59,13 +59,15 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         if args.constraints
         else ConstraintSet()
     )
-    solver = Diva(
+    diva = Diva(
         strategy=args.strategy,
         anonymizer=args.anonymizer,
         best_effort=args.best_effort,
+        max_steps=args.max_steps,
         seed=args.seed,
         max_workers=args.workers,
         executor=args.executor,
+        solver=args.solver,
     )
     collector = None
     began = time.perf_counter()
@@ -80,12 +82,12 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
         sink = sinks[0] if len(sinks) == 1 else obs.TeeSink(*sinks)
         try:
             with obs.use_sink(sink):
-                result = solver.run(relation, constraints, args.k)
+                result = diva.run(relation, constraints, args.k)
         finally:
             for s in sinks[1:]:
                 s.close()
     else:
-        result = solver.run(relation, constraints, args.k)
+        result = diva.run(relation, constraints, args.k)
     elapsed = time.perf_counter() - began
     save_relation(result.relation, args.output)
     metrics = measure_output(result.relation, args.k)
@@ -112,6 +114,8 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
                     "k": args.k,
                     "strategy": args.strategy,
                     "anonymizer": args.anonymizer,
+                    "solver": args.solver,
+                    "max_steps": args.max_steps,
                     "workers": args.workers,
                     "executor": args.executor,
                     "seed": args.seed,
@@ -207,11 +211,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
         args.k,
         strategy=args.strategy,
         anonymizer=args.anonymizer,
+        max_steps=args.max_steps,
         bootstrap=args.bootstrap,
         max_deferrals=args.max_deferrals,
         seed=args.seed,
         max_workers=args.workers,
         executor=args.executor,
+        solver=args.solver,
     )
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
@@ -387,6 +393,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--anonymizer", default="k-member")
     p.add_argument("--best-effort", action="store_true")
+    p.add_argument(
+        "--solver", default="exact", choices=["exact", "approx", "auto"],
+        help="DiverseClustering tier: exact backtracking, poly-time "
+        "approximation, or auto (exact with escalation to a warm-started "
+        "approx pass on budget exhaustion)",
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=100_000,
+        help="candidate-evaluation budget of the exact search "
+        "(default %(default)s)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--workers", type=int, default=None,
@@ -458,6 +475,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["basic", "minchoice", "maxfanout"],
     )
     p.add_argument("--anonymizer", default="k-member")
+    p.add_argument(
+        "--solver", default="exact", choices=["exact", "approx", "auto"],
+        help="solver tier for recompute runs (see anonymize --solver)",
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=100_000,
+        help="candidate-evaluation budget of the exact search "
+        "(default %(default)s)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--workers", type=int, default=None,

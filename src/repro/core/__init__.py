@@ -15,7 +15,13 @@ from .index import (
     set_kernel_backend,
     use_kernel_backend,
 )
+from .approx import (
+    ApproxSolver,
+    approx_clustering,
+    approx_loss_bound,
+)
 from .coloring import (
+    SOLVER_TIERS,
     ColoringResult,
     ColoringSearch,
     SearchBudgetExceeded,
@@ -60,6 +66,10 @@ __all__ = [
     "SearchBudgetExceeded",
     "SearchStats",
     "diverse_clustering",
+    "SOLVER_TIERS",
+    "ApproxSolver",
+    "approx_clustering",
+    "approx_loss_bound",
     "component_coloring",
     "ConstraintGraph",
     "ConstraintNode",

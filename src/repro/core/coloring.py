@@ -61,12 +61,21 @@ Clustering = tuple  # tuple[frozenset, ...]
 class SearchBudgetExceeded(ReproError):
     """The coloring search hit its step budget before finishing.
 
-    Carries the partial stats so best-effort callers can report effort.
+    ``partial`` always carries the ``stats`` (so best-effort callers can
+    report effort) and the deepest live ``assignment`` snapshot (node index
+    → clustering) at the moment the budget ran out, which the ``auto``
+    solver tier feeds to :class:`~repro.core.approx.ApproxSolver` as a warm
+    start instead of restarting cold.
     """
 
     def __init__(self, message: str, partial: Optional[dict] = None):
         super().__init__(message)
         self.partial = partial or {}
+
+    def __reduce__(self):
+        # Default exception pickling re-calls ``__init__(*args)`` and would
+        # silently drop ``partial`` on its way back from a process pool.
+        return (type(self), (self.args[0], self.partial))
 
 
 @dataclass
@@ -238,6 +247,7 @@ class ColoringSearch:
             for cluster in distinct:
                 self._contrib[cluster] = self._cluster_contributions(cluster)
         # Live assignment state.
+        self._live_assignment: dict[int, Clustering] = {}
         self._cluster_refs: dict[frozenset, int] = {}
         self._covered: dict[int, int] = {}
         self._counts: dict[int, int] = {n.index: 0 for n in self.graph}
@@ -368,6 +378,9 @@ class ColoringSearch:
         with obs.span(obs.SPAN_COLORING_SEARCH):
             try:
                 assignment: dict[int, Clustering] = {}
+                # Exposed so _charge_step can snapshot the live partial
+                # assignment into SearchBudgetExceeded.partial.
+                self._live_assignment = assignment
                 all_indices = [node.index for node in self.graph]
                 success = self._color(assignment, set(all_indices))
             finally:
@@ -489,8 +502,15 @@ class ColoringSearch:
         if self.max_steps is not None and self.stats.candidates_tried >= self.max_steps:
             raise SearchBudgetExceeded(
                 f"coloring exceeded {self.max_steps} candidate evaluations",
-                partial={"stats": self.stats},
+                partial={
+                    "stats": self.stats,
+                    "assignment": dict(self._live_assignment),
+                },
             )
+
+
+#: The valid values of the ``solver=`` axis (see DESIGN.md "Solver tiers").
+SOLVER_TIERS = ("exact", "approx", "auto")
 
 
 def diverse_clustering(
@@ -501,12 +521,28 @@ def diverse_clustering(
     max_candidates: int = 64,
     max_steps: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    solver: str = "exact",
 ) -> ColoringResult:
     """``DiverseClustering(R, Σ, k)`` (Algorithm 3).
 
     Returns a :class:`ColoringResult`; ``result.success`` is False when no
     diverse clustering exists (DIVA then reports "relation does not exist").
+
+    ``solver`` picks the tier: ``exact`` is the backtracking search above,
+    ``approx`` the poly-time greedy tier (:mod:`repro.core.approx`), and
+    ``auto`` runs exact first and escalates to approx — warm-started from
+    the exact search's partial assignment — only when the step budget is
+    exhausted, so ``auto`` is byte-identical to ``exact`` whenever exact
+    finishes within budget.  If the approx tier fails too, the original
+    :class:`SearchBudgetExceeded` is re-raised so callers' buffering /
+    best-effort semantics are unchanged.
     """
+    if solver not in SOLVER_TIERS:
+        raise ValueError(f"solver must be one of {SOLVER_TIERS}, got {solver!r}")
+    if solver == "approx":
+        from .approx import approx_clustering  # local: avoids circular import
+
+        return approx_clustering(relation, constraints, k, rng=rng)
     search = ColoringSearch(
         relation,
         constraints,
@@ -516,4 +552,16 @@ def diverse_clustering(
         max_steps=max_steps,
         rng=rng,
     )
-    return search.run()
+    try:
+        return search.run()
+    except SearchBudgetExceeded as exc:
+        if solver != "auto":
+            raise
+        from .approx import escalate_from_budget  # local: avoids circular import
+
+        result = escalate_from_budget(
+            relation, constraints, k, graph=search.graph, exc=exc
+        )
+        if result is None:
+            raise
+        return result

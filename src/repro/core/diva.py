@@ -35,7 +35,12 @@ from ..data.relation import Relation
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from ..anonymize import Anonymizer
-from .coloring import ColoringSearch, SearchBudgetExceeded, SearchStats
+from .coloring import (
+    SOLVER_TIERS,
+    ColoringSearch,
+    SearchBudgetExceeded,
+    SearchStats,
+)
 from .constraints import ConstraintSet, DiversityConstraint
 from .enumeration import get_enum_memo
 from .errors import UnsatisfiableError
@@ -135,6 +140,13 @@ class Diva:
         Pool flavor for ``max_workers``: ``"thread"`` (default) or
         ``"process"`` (ships the relation via shared memory; requires a
         strategy *name*, not an instance).
+    solver:
+        Solver tier for DiverseClustering: ``"exact"`` (default, the
+        backtracking coloring search), ``"approx"`` (the poly-time greedy
+        tier of :mod:`repro.core.approx`), or ``"auto"`` (exact under the
+        step budget, escalating to a warm-started approx pass only on
+        :class:`SearchBudgetExceeded` — byte-identical to ``"exact"``
+        whenever the budget suffices).
     """
 
     def __init__(
@@ -148,9 +160,15 @@ class Diva:
         seed: int = 0,
         max_workers: Optional[int] = None,
         executor: str = "thread",
+        solver: str = "exact",
     ):
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
+        if solver not in SOLVER_TIERS:
+            raise ValueError(
+                f"solver must be one of {SOLVER_TIERS}, got {solver!r}"
+            )
+        self.solver = solver
         self._strategy_spec = strategy
         self._anonymizer_spec = anonymizer
         self.best_effort = best_effort
@@ -339,21 +357,33 @@ class Diva:
         active = constraints
         budget = self.max_steps
         while True:
-            search = ColoringSearch(
-                relation,
-                active,
-                k,
-                strategy=self._fresh_strategy(rng),
-                max_candidates=self.max_candidates,
-                max_steps=budget,
-                rng=rng,
-            )
-            try:
-                result = search.run()
-            except SearchBudgetExceeded:
-                if not self.best_effort:
-                    raise
-                result = None
+            search = None
+            if self.solver == "approx":
+                from .approx import approx_clustering
+
+                result = approx_clustering(relation, active, k, rng=rng)
+            else:
+                search = ColoringSearch(
+                    relation,
+                    active,
+                    k,
+                    strategy=self._fresh_strategy(rng),
+                    max_candidates=self.max_candidates,
+                    max_steps=budget,
+                    rng=rng,
+                )
+                try:
+                    result = search.run()
+                except SearchBudgetExceeded as exc:
+                    result = None
+                    if self.solver == "auto":
+                        from .approx import escalate_from_budget
+
+                        result = escalate_from_budget(
+                            relation, active, k, graph=search.graph, exc=exc
+                        )
+                    if result is None and not self.best_effort:
+                        raise
             if result is not None and result.success:
                 return result, active, dropped
             if not self.best_effort:
@@ -363,18 +393,32 @@ class Diva:
                 from .coloring import ColoringResult
 
                 return ColoringResult(True, clustering=()), active, dropped
-            # Drop the most restrictive constraint (fewest candidates) and
-            # retry — the cheapest way to restore satisfiability.  The step
-            # budget halves per retry so repeated failed searches stay
-            # bounded (total work ≤ 2 × max_steps) even for large Σ.
-            victim = min(
-                (node for node in search.graph),
-                key=lambda n: (len(search.candidates(n.index)), n.index),
-            ).constraint
+            # Drop the most restrictive constraint and retry — the cheapest
+            # way to restore satisfiability.  With an exact search in hand,
+            # restrictiveness is its candidate count; the approx tier has no
+            # candidate pools, so the smallest target pool is the proxy.
+            # The step budget halves per retry so repeated failed searches
+            # stay bounded (total work ≤ 2 × max_steps) even for large Σ.
+            victim = self._pick_victim(search, relation, active)
             dropped.append(victim)
             active = ConstraintSet(c for c in active if c != victim)
             if budget is not None:
                 budget = max(budget // 2, 2_000)
+
+    @staticmethod
+    def _pick_victim(search, relation, active) -> DiversityConstraint:
+        """The most restrictive constraint of ``active`` to shed next."""
+        if search is not None:
+            return min(
+                (node for node in search.graph),
+                key=lambda n: (len(search.candidates(n.index)), n.index),
+            ).constraint
+        from .graph import build_graph
+
+        return min(
+            (node for node in build_graph(relation, active)),
+            key=lambda n: (len(n.target_tids), n.index),
+        ).constraint
 
     def _parallel_attempt(self, relation, constraints, k, rng):
         """One component-parallel coloring pass; None means "try dropping".
@@ -400,6 +444,7 @@ class Diva:
                 seed=self.seed,
                 max_workers=self.max_workers,
                 executor=self.executor,
+                solver=self.solver,
             )
         except SearchBudgetExceeded:
             if not self.best_effort:
@@ -448,9 +493,10 @@ def run_diva(
     seed: int = 0,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    solver: str = "exact",
 ) -> DivaResult:
     """One-call convenience wrapper around :class:`Diva`."""
-    solver = Diva(
+    diva = Diva(
         strategy=strategy,
         anonymizer=anonymizer,
         best_effort=best_effort,
@@ -460,5 +506,6 @@ def run_diva(
         seed=seed,
         max_workers=max_workers,
         executor=executor,
+        solver=solver,
     )
-    return solver.run(relation, constraints, k)
+    return diva.run(relation, constraints, k)

@@ -65,7 +65,13 @@ import numpy as np
 from .. import obs
 from ..data.relation import Relation
 from . import costmodel
-from .coloring import ColoringResult, ColoringSearch, SearchStats
+from .coloring import (
+    SOLVER_TIERS,
+    ColoringResult,
+    ColoringSearch,
+    SearchBudgetExceeded,
+    SearchStats,
+)
 from .constraints import ConstraintSet
 from .graph import ConstraintNode, build_graph
 from .strategies import SelectionStrategy
@@ -119,8 +125,16 @@ def _solve_component(
     max_candidates: int,
     max_steps: Optional[int],
     collect: bool = False,
+    solver: str = "exact",
 ) -> tuple[ColoringResult, Optional[dict]]:
     """Solve one component; module-level so process pools can pickle it.
+
+    ``solver`` applies *per component*: on the ``auto`` tier each budget-
+    exhausted component escalates to a warm-started approx pass on its own,
+    so one hard component degrades gracefully instead of sinking the whole
+    pooled run.  An escalation that fails re-raises the component's
+    original :class:`SearchBudgetExceeded` (whose ``partial`` payload is
+    pickled home intact).
 
     With ``collect=True`` the component's search runs under a fresh
     thread-local :class:`~repro.obs.Collector` and its picklable snapshot
@@ -130,6 +144,12 @@ def _solve_component(
     fresh anyway and the snapshot is the only channel home.
     """
     def solve() -> ColoringResult:
+        if solver == "approx":
+            from .approx import approx_clustering
+
+            return approx_clustering(
+                relation, subset, k, rng=np.random.default_rng(seed_seq)
+            )
         search = ColoringSearch(
             relation,
             subset,
@@ -139,7 +159,19 @@ def _solve_component(
             max_steps=max_steps,
             rng=np.random.default_rng(seed_seq),
         )
-        return search.run()
+        try:
+            return search.run()
+        except SearchBudgetExceeded as exc:
+            if solver != "auto":
+                raise
+            from .approx import escalate_from_budget
+
+            result = escalate_from_budget(
+                relation, subset, k, graph=search.graph, exc=exc
+            )
+            if result is None:
+                raise
+            return result
 
     if not collect:
         return solve(), None
@@ -157,6 +189,7 @@ def _solve_chunk(
     max_candidates: int,
     max_steps: Optional[int],
     collect: bool,
+    solver: str = "exact",
     relation: Optional[Relation] = None,
 ) -> tuple[list[tuple[int, ColoringResult, Optional[dict]]], int]:
     """Solve a batch of components in one task.
@@ -178,7 +211,7 @@ def _solve_chunk(
         started = perf_counter()
         result, snapshot = _solve_component(
             subset, seed_seq, relation, k, strategy, max_candidates,
-            max_steps, collect,
+            max_steps, collect, solver,
         )
         wall_ns = int((perf_counter() - started) * 1e9)
         out.append((order, result, snapshot, wall_ns))
@@ -263,8 +296,14 @@ def component_coloring(
     seed: int = 0,
     max_workers: Optional[int] = None,
     executor: str = "thread",
+    solver: str = "exact",
 ) -> ColoringResult:
     """Color each connected component independently and merge.
+
+    ``solver`` selects the per-component tier (``exact``/``approx``/
+    ``auto`` — see :func:`repro.core.coloring.diverse_clustering`); on
+    ``auto``, escalation happens inside each component's worker, so only
+    the components that actually exhaust their budget pay the approx pass.
 
     ``max_workers=None`` (or 1) runs components sequentially; any larger
     value uses a pool of that size — ``executor="thread"`` (default, cheap
@@ -281,6 +320,8 @@ def component_coloring(
     """
     if executor not in ("thread", "process"):
         raise ValueError("executor must be 'thread' or 'process'")
+    if solver not in SOLVER_TIERS:
+        raise ValueError(f"solver must be one of {SOLVER_TIERS}, got {solver!r}")
     graph = build_graph(relation, constraints)
     components = graph.connected_components()
     if not components:
@@ -301,7 +342,7 @@ def component_coloring(
         for order, (subset, seed_seq) in enumerate(zip(subsets, seed_seqs)):
             result, snapshot = _solve_component(
                 subset, seed_seq, relation, k, strategy, max_candidates,
-                max_steps, collect,
+                max_steps, collect, solver,
             )
             pairs[order] = (result, snapshot)
             if not result.success:
@@ -334,7 +375,7 @@ def component_coloring(
     with obs.span(obs.SPAN_PARALLEL_SCHEDULE):
         pairs, walls, telemetry = _run_pool(
             chunks, relation, k, strategy, max_candidates, max_steps,
-            collect, max_workers, executor,
+            collect, max_workers, executor, solver,
         )
     telemetry[obs.PARALLEL_COMPONENTS] = len(components)
     telemetry[obs.PARALLEL_TASKS_DISPATCHED] = len(chunks)
@@ -363,6 +404,7 @@ def _run_pool(
     collect: bool,
     max_workers: int,
     executor: str,
+    solver: str = "exact",
 ) -> tuple[dict, dict]:
     """Dispatch chunks largest-first and drain completions out of order.
 
@@ -383,6 +425,7 @@ def _run_pool(
         max_candidates=max_candidates,
         max_steps=max_steps,
         collect=collect,
+        solver=solver,
     )
     if executor == "process":
         if shm_available():

@@ -71,8 +71,15 @@ from .names import (  # noqa: F401
     SPAN_STREAM_EXTEND,
     SPAN_STREAM_INGEST,
     SPAN_STREAM_PUBLISH,
+    SPAN_APPROX_SOLVE,
     SPAN_STREAM_RECOMPUTE,
     SPAN_SUPPRESS,
+    SOLVER_APPROX_COST,
+    SOLVER_APPROX_NODES,
+    SOLVER_APPROX_SELECTED,
+    SOLVER_APPROX_WALL_NS,
+    SOLVER_ESCALATIONS,
+    SOLVER_WARM_START_NODES,
     STREAM_BATCHES_INGESTED,
     STREAM_RECOMPUTES_FULL,
     STREAM_RECOMPUTES_SCOPED,

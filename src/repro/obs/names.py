@@ -94,6 +94,24 @@ PARALLEL_SHM_BYTES_EXPORTED = "parallel.shm.bytes_exported"
 PARALLEL_SHM_ATTACH_NS = "parallel.shm.attach_ns"
 PARALLEL_SHM_FALLBACKS = "parallel.shm.fallbacks"
 
+#: Solver tier (``solver=`` axis): exact→approx escalations taken when the
+#: ``auto`` tier catches a budget-exhausted exact search (one per
+#: escalation — monolithic runs emit at most one, per-component pooled
+#: runs one per escalated component), and exact-tier partial assignments
+#: adopted by the approximation solver's warm start, in nodes.
+SOLVER_ESCALATIONS = "solver.escalations"
+SOLVER_WARM_START_NODES = "solver.warm_start_nodes"
+
+#: Approximation solver (``repro.core.approx``) wall/quality telemetry,
+#: emitted once per approx pass: wall clock in nanoseconds, constraints
+#: assigned, target tuples selected into the emitted clustering, and its
+#: suppression cost in cells (the quality measure the conformance bench
+#: compares against the exact tier).
+SOLVER_APPROX_WALL_NS = "solver.approx.wall_ns"
+SOLVER_APPROX_NODES = "solver.approx.nodes_assigned"
+SOLVER_APPROX_SELECTED = "solver.approx.tuples_selected"
+SOLVER_APPROX_COST = "solver.approx.cells_starred"
+
 ALL_COUNTERS = (
     GRAPH_NODES,
     GRAPH_EDGES,
@@ -129,6 +147,12 @@ ALL_COUNTERS = (
     PARALLEL_SHM_BYTES_EXPORTED,
     PARALLEL_SHM_ATTACH_NS,
     PARALLEL_SHM_FALLBACKS,
+    SOLVER_ESCALATIONS,
+    SOLVER_WARM_START_NODES,
+    SOLVER_APPROX_WALL_NS,
+    SOLVER_APPROX_NODES,
+    SOLVER_APPROX_SELECTED,
+    SOLVER_APPROX_COST,
 )
 
 # -- spans ---------------------------------------------------------------------
@@ -161,6 +185,10 @@ SPAN_STREAM_RECOMPUTE = "stream.recompute"
 SPAN_PARALLEL_SCHEDULE = "parallel.schedule"
 SPAN_PARALLEL_SHM_EXPORT = "parallel.shm.export"
 
+#: One approximation-solver pass (``repro.core.approx``), whether invoked
+#: directly (``solver=approx``) or by an ``auto``-tier escalation.
+SPAN_APPROX_SOLVE = "solver.approx.solve"
+
 ALL_SPANS = (
     SPAN_DIVA_RUN,
     SPAN_DIVERSE_CLUSTERING,
@@ -179,4 +207,5 @@ ALL_SPANS = (
     SPAN_STREAM_RECOMPUTE,
     SPAN_PARALLEL_SCHEDULE,
     SPAN_PARALLEL_SHM_EXPORT,
+    SPAN_APPROX_SOLVE,
 )

@@ -96,6 +96,15 @@ class StreamingAnonymizer:
         recompute runs color constraint-graph components on a pool of this
         size (see :mod:`repro.core.parallel`).  The extend path never uses
         a pool; it is already incremental.
+    solver:
+        Solver tier for the recompute runs (``"exact"``/``"approx"``/
+        ``"auto"``), forwarded to :class:`Diva`.  With ``"auto"`` a
+        budget-exhausted scoped or full recompute escalates to the
+        warm-started approximation tier *inside* the recompute, so a hard
+        batch degrades to an approx-quality release instead of staying
+        buffered; only if the approx pass also fails does the original
+        :class:`SearchBudgetExceeded` surface and the buffering /
+        flush-raises semantics below take over unchanged.
     """
 
     def __init__(
@@ -113,6 +122,7 @@ class StreamingAnonymizer:
         seed: int = 0,
         max_workers: Optional[int] = None,
         executor: str = "thread",
+        solver: str = "exact",
     ):
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -131,6 +141,7 @@ class StreamingAnonymizer:
             seed=seed,
             max_workers=max_workers,
             executor=executor,
+            solver=solver,
         )
         self.ledger = ReleaseLedger(k, constraints)
         self.stats = StreamStats()

@@ -441,6 +441,12 @@ class TestTaxonomy:
             "parallel.shm.bytes_exported",
             "parallel.shm.attach_ns",
             "parallel.shm.fallbacks",
+            "solver.escalations",
+            "solver.warm_start_nodes",
+            "solver.approx.wall_ns",
+            "solver.approx.nodes_assigned",
+            "solver.approx.tuples_selected",
+            "solver.approx.cells_starred",
         }
 
     def test_span_names_pinned(self):
@@ -462,6 +468,7 @@ class TestTaxonomy:
             "stream.recompute",
             "parallel.schedule",
             "parallel.shm.export",
+            "solver.approx.solve",
         }
 
     def test_pipeline_emits_only_taxonomy_names(self, paper_relation,

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro import obs
 from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.coloring import SearchBudgetExceeded
 from repro.core.diva import run_diva
 from repro.core.errors import UnsatisfiableError
 from repro.core.index import use_kernel_backend
@@ -434,3 +435,128 @@ class TestEquivalenceProperty:
             f"incremental cost {inc_stars} exceeds bound {budget} "
             f"(full run: {full_stars})"
         )
+
+class TestBudgetExhaustion:
+    """The ``except (UnsatisfiableError, SearchBudgetExceeded)`` arms in
+    ``_publish_scoped`` and ``_publish_full``.
+
+    Contract: a budget-exhausted recompute behaves exactly like an
+    infeasible one — the batch stays buffered, the published head is
+    untouched (so the ledger never carries an invalid release), and only
+    :meth:`flush` surfaces the exception.  With ``solver="auto"`` the
+    escalation happens *inside* the recompute, so the same ingest
+    publishes instead of buffering — and the escalated release must pass
+    the same validators as an exact one.
+    """
+
+    # One slack constraint the bootstrap satisfies; the follow-up batch
+    # repeats its target value so every recompute has real coloring work
+    # (a first candidate to charge for — a zero budget then genuinely
+    # raises rather than proving failure for free).
+    def _sigma(self) -> ConstraintSet:
+        return ConstraintSet([DiversityConstraint("A", "a1", 0, 2)])
+
+    BATCH = [("a1", "b9", "s1"), ("a1", "b9", "s2")]
+
+    def _exhausted_engine(self, ab_schema, monkeypatch, solver):
+        from repro.stream import engine as engine_mod
+
+        # Force the batch onto the recompute paths, then zero the budget
+        # *after* bootstrap so only the incremental recomputes exhaust.
+        monkeypatch.setattr(
+            engine_mod.AdmissionState, "try_admit", lambda self, tid, row: False
+        )
+        engine = StreamingAnonymizer(
+            ab_schema, self._sigma(), 2, bootstrap=4, solver=solver
+        )
+        assert engine.ingest(BOOT_ROWS) is not None
+        engine._diva.max_steps = 0
+        return engine
+
+    def test_scoped_exhaustion_buffers_and_keeps_head_valid(
+        self, ab_schema, monkeypatch
+    ):
+        engine = self._exhausted_engine(ab_schema, monkeypatch, "exact")
+        head_before = engine.release.relation
+        # Scoped recompute exhausts -> falls through to full -> exhausts
+        # too -> the non-forced publish buffers rather than raising.
+        assert engine.ingest(self.BATCH) is None
+        assert engine.pending_count == 2
+        assert engine.stats.scoped_recomputes == 0
+        assert engine.stats.full_recomputes == 1  # bootstrap only
+        head = engine.release.relation
+        assert head is head_before
+        assert is_k_anonymous(head, 2)
+        assert self._sigma().is_satisfied_by(head)
+
+    def test_flush_surfaces_budget_exhaustion(self, ab_schema, monkeypatch):
+        engine = self._exhausted_engine(ab_schema, monkeypatch, "exact")
+        assert engine.ingest(self.BATCH) is None
+        with pytest.raises(SearchBudgetExceeded):
+            engine.flush()
+
+    def test_full_arm_exhaustion_buffers(self, ab_schema, monkeypatch):
+        # Disable the scoped path so the full-recompute except arm is the
+        # one exercised, not reached via fall-through.
+        from repro.stream import engine as engine_mod
+
+        monkeypatch.setattr(
+            engine_mod, "residual_constraints", lambda *a, **k: None
+        )
+        engine = self._exhausted_engine(ab_schema, monkeypatch, "exact")
+        assert engine.ingest(self.BATCH) is None
+        assert engine.pending_count == 2
+        head = engine.release.relation
+        assert is_k_anonymous(head, 2)
+        assert self._sigma().is_satisfied_by(head)
+
+    def test_auto_escalation_publishes_valid_release_mid_stream(
+        self, ab_schema, monkeypatch
+    ):
+        engine = self._exhausted_engine(ab_schema, monkeypatch, "auto")
+        with obs.collecting() as collector:
+            release = engine.ingest(self.BATCH)
+        assert release is not None and release.mode == "scoped"
+        assert engine.pending_count == 0
+        assert collector.counters[obs.SOLVER_ESCALATIONS] >= 1
+        head = engine.release.relation
+        assert is_k_anonymous(head, 2)
+        assert self._sigma().is_satisfied_by(head)
+
+    def test_auto_escalation_covers_full_recompute_too(
+        self, ab_schema, monkeypatch
+    ):
+        from repro.stream import engine as engine_mod
+
+        monkeypatch.setattr(
+            engine_mod, "residual_constraints", lambda *a, **k: None
+        )
+        engine = self._exhausted_engine(ab_schema, monkeypatch, "auto")
+        release = engine.ingest(self.BATCH)
+        assert release is not None and release.mode == "full"
+        assert engine.pending_count == 0
+        head = engine.release.relation
+        assert is_k_anonymous(head, 2)
+        assert self._sigma().is_satisfied_by(head)
+
+    def test_bootstrap_exhaustion_buffers_without_publishing(self, ab_schema):
+        # Engine-wide zero budget: even the bootstrap recompute exhausts,
+        # so no release ever appears and flush reports why.
+        engine = StreamingAnonymizer(
+            ab_schema, tight_sigma(), 2, bootstrap=4, max_steps=0
+        )
+        assert engine.ingest(BOOT_ROWS) is None
+        assert engine.pending_count == 4
+        assert engine.release is None
+        with pytest.raises(SearchBudgetExceeded):
+            engine.flush()
+
+    def test_bootstrap_escalation_publishes_under_auto(self, ab_schema):
+        engine = StreamingAnonymizer(
+            ab_schema, tight_sigma(), 2, bootstrap=4, max_steps=0, solver="auto"
+        )
+        release = engine.ingest(BOOT_ROWS)
+        assert release is not None and release.mode == "bootstrap"
+        assert engine.pending_count == 0
+        assert is_k_anonymous(release.relation, 2)
+        assert tight_sigma().is_satisfied_by(release.relation)
