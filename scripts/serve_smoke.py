@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``repro serve`` against a storage backend.
+
+Spawns the real CLI service as a subprocess, drives it over plain HTTP
+(``urllib``), and asserts the full consumer contract:
+
+1. ingest two micro-batches of rows read from the source backend;
+2. a release is published and served with a strong ETag;
+3. a conditional re-fetch with ``If-None-Match`` answers ``304`` with an
+   empty body;
+4. ``/metrics`` exposes the ``serve.*`` event counters;
+5. the served release body, written back to disk next to its
+   ``/schema``-derived sidecar, passes ``repro check``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py census.csv
+    PYTHONPATH=src python scripts/serve_smoke.py sqlite:census.db::census
+    PYTHONPATH=src python scripts/serve_smoke.py columnar:census.cols
+
+Exits non-zero on the first failed expectation, killing the service
+subprocess either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.io import open_backend
+
+LISTEN_RE = re.compile(r"listening on http://[^:]+:(\d+)")
+
+
+def http(method: str, url: str, payload=None, headers=None):
+    """One request; returns (status, headers, body) and treats 304 as success."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method, headers=headers or {}
+    )
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        if exc.code == 304:
+            return exc.code, dict(exc.headers), body
+        raise SystemExit(
+            f"smoke: {method} {url} -> {exc.code}: {body.decode(errors='replace')}"
+        )
+
+
+def wait_for_port(process: subprocess.Popen) -> int:
+    """Parse the bound port from the service's startup line."""
+    deadline = time.monotonic() + 30
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"smoke: service exited early (rc={process.poll()})"
+            )
+        sys.stdout.write(line)
+        match = LISTEN_RE.search(line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("smoke: service never printed its listen address")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("source", help="backend spec to serve (csv/sqlite/columnar)")
+    parser.add_argument("-k", type=int, default=4)
+    parser.add_argument("--micro-batch", type=int, default=50)
+    args = parser.parse_args()
+
+    rows = [list(row) for _tid, row in open_backend(args.source).load()]
+    need = 2 * args.micro_batch
+    if len(rows) < need:
+        raise SystemExit(
+            f"smoke: source has {len(rows)} rows, need {need} for two batches"
+        )
+
+    service = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", args.source,
+            "-k", str(args.k),
+            "--micro-batch", str(args.micro_batch),
+            "--bootstrap", str(args.micro_batch),
+            "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = wait_for_port(service)
+        base = f"http://127.0.0.1:{port}"
+
+        status, _, body = http("GET", f"{base}/healthz")
+        assert status == 200 and json.loads(body)["status"] == "ok"
+
+        # -- two micro-batches: bootstrap release, then an increment ----
+        published = []
+        for n in range(2):
+            begin = n * args.micro_batch
+            status, _, body = http(
+                "POST", f"{base}/ingest",
+                {"rows": rows[begin:begin + args.micro_batch]},
+            )
+            payload = json.loads(body)
+            assert status == 202, payload
+            published.extend(payload["published"])
+            print(f"smoke: batch {n + 1} -> published={payload['published']} "
+                  f"sequence={payload['sequence']} pending={payload['pending']}")
+        assert published, "two micro-batches published no release"
+
+        # -- release fetch with ETag, then conditional revalidation -----
+        status, headers, release_body = http("GET", f"{base}/release")
+        etag = headers.get("ETag")
+        assert status == 200 and etag, "release fetch lacks an ETag"
+        assert release_body.startswith(b"__tid__,"), "release is not a CSV body"
+        sequence = headers["X-Release-Sequence"]
+
+        status, headers, body = http(
+            "GET", f"{base}/release", headers={"If-None-Match": etag}
+        )
+        assert status == 304 and body == b"", "revalidation did not answer 304"
+        assert headers.get("ETag") == etag
+        print(f"smoke: release seq={sequence} etag={etag} revalidated via 304")
+
+        # -- metrics must surface the serve.* taxonomy ------------------
+        status, _, body = http("GET", f"{base}/metrics")
+        metrics = body.decode()
+        for name in ("serve.requests", "serve.publishes",
+                     "serve.release_fetches", "serve.release_not_modified"):
+            assert f'repro_events_total{{name="{name}"}}' in metrics, (
+                f"metric {name} missing from /metrics"
+            )
+
+        # -- the served artifact must satisfy repro check ---------------
+        status, _, schema_body = http("GET", f"{base}/schema")
+        assert status == 200
+        with tempfile.TemporaryDirectory() as scratch:
+            release_path = Path(scratch) / "release.csv"
+            release_path.write_bytes(release_body)
+            (Path(scratch) / "release.csv.schema.json").write_text(
+                schema_body.decode()
+            )
+            check = subprocess.run(
+                [sys.executable, "-m", "repro", "check",
+                 str(release_path), "-k", str(args.k)],
+            )
+            assert check.returncode == 0, "published release failed repro check"
+
+        print(f"smoke: OK ({args.source}: ingest -> publish -> ETag 304 -> check)")
+        return 0
+    finally:
+        service.terminate()
+        try:
+            service.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            service.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

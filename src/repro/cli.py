@@ -2,16 +2,24 @@
 
 Commands:
 
-* ``anonymize`` — run DIVA on a CSV relation and write the published CSV.
-* ``check`` — validate an anonymized CSV against k and a constraint file.
+* ``anonymize`` — run DIVA on a relation and write the published CSV.
+* ``check`` — validate an anonymized relation against k and a constraint file.
 * ``dataset`` — generate one of the evaluation datasets as CSV.
+* ``convert`` — copy a relation between storage backends.
 * ``bench`` — regenerate one paper artifact and print its series.
-* ``stream`` — replay a CSV as timed micro-batches through the streaming
-  engine, writing every published release.
+* ``stream`` — replay a relation as timed micro-batches through the
+  streaming engine, writing every published release.
+* ``serve`` — run the long-running anonymization service (HTTP ingest,
+  versioned release serving with ETags, ``/metrics``).
 * ``report`` — render one run: duration histograms, critical path, folded
   stacks and top counters from a JSONL trace (or a registry record).
 * ``compare`` — diff two runs (or a run against its registry baseline)
   and exit non-zero on a regression past the threshold.
+
+Wherever a command reads a relation it accepts a backend spec, not just a
+CSV path: ``csv:people.csv``, ``sqlite:census.db::census``,
+``columnar:census.cols``, a descriptor ``.json``, or a bare path (see
+:mod:`repro.io`).
 
 Constraint files are plain text, one constraint per line in the paper's
 notation (``ETH[Asian], 2, 5``); blank lines and ``#`` comments allowed.
@@ -29,7 +37,8 @@ from .core.constraints import ConstraintSet, DiversityConstraint
 from .core.diva import Diva
 from .core.problem import KSigmaProblem
 from .data.datasets import DATASETS, load_dataset
-from .data.loaders import load_relation, save_relation
+from .data.loaders import save_relation
+from .io import open_backend
 from .metrics.accuracy_utils import measure_output
 from .metrics.diversity_check import check_diversity
 from .metrics.stats import is_k_anonymous
@@ -53,7 +62,7 @@ def load_constraint_file(path: str | Path) -> ConstraintSet:
 
 
 def cmd_anonymize(args: argparse.Namespace) -> int:
-    relation = load_relation(args.input)
+    relation = open_backend(args.input).load()
     constraints = (
         load_constraint_file(args.constraints)
         if args.constraints
@@ -136,7 +145,7 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    relation = load_relation(args.input)
+    relation = open_backend(args.input).load()
     ok = True
     if not is_k_anonymous(relation, args.k):
         print(f"FAIL: not {args.k}-anonymous")
@@ -162,7 +171,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         violated = sum(1 for v in verdicts if not v.satisfied)
         print(f"constraints violated: {violated} of {len(verdicts)}")
     if args.original:
-        original = load_relation(args.original)
+        original = open_backend(args.original).load()
         problem = KSigmaProblem(
             original,
             load_constraint_file(args.constraints)
@@ -199,7 +208,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     from .stream import StreamingAnonymizer
 
-    relation = load_relation(args.input)
+    relation = open_backend(args.input).load()
     constraints = (
         load_constraint_file(args.constraints)
         if args.constraints
@@ -214,6 +223,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         max_steps=args.max_steps,
         bootstrap=args.bootstrap,
         max_deferrals=args.max_deferrals,
+        scoped_batch=args.scoped_batch,
         seed=args.seed,
         max_workers=args.workers,
         executor=args.executor,
@@ -278,6 +288,81 @@ def _null_context():
     import contextlib
 
     return contextlib.nullcontext()
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Copy a relation between storage backends.
+
+    Source and destination are backend specs; an unprefixed destination
+    path writes CSV, so converting *to* SQLite or columnar needs the
+    explicit ``sqlite:db::table`` / ``columnar:dir`` form.
+    """
+    source = open_backend(args.source)
+    relation = source.load()
+    dest = open_backend(args.dest)
+    target = dest.write_source(relation)
+    print(
+        f"converted {source.kind} -> {dest.kind}: |R|={len(relation)} "
+        f"n={len(relation.schema)} -> {target}"
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the anonymization service against a storage backend.
+
+    The backend provides the stream schema (and receives every published
+    release back when ``--write-releases`` is set); arrivals come in over
+    HTTP.  With ``--replay`` the backend's existing rows are fed through
+    the engine as micro-batches before the socket opens, so the service
+    starts with a published release instead of an empty ledger.
+    """
+    import asyncio
+
+    from .serve import AnonymizationService
+    from .stream import StreamingAnonymizer
+
+    backend = open_backend(args.source)
+    schema = backend.schema()
+    constraints = (
+        load_constraint_file(args.constraints)
+        if args.constraints
+        else ConstraintSet()
+    )
+    engine = StreamingAnonymizer(
+        schema,
+        constraints,
+        args.k,
+        strategy=args.strategy,
+        anonymizer=args.anonymizer,
+        max_steps=args.max_steps,
+        bootstrap=args.bootstrap,
+        max_deferrals=args.max_deferrals,
+        scoped_batch=args.scoped_batch,
+        seed=args.seed,
+        max_workers=args.workers,
+        executor=args.executor,
+        solver=args.solver,
+    )
+    service = AnonymizationService(
+        engine,
+        micro_batch=args.micro_batch,
+        release_backend=backend if args.write_releases else None,
+    )
+    if args.replay:
+        rows = [row for _, row in backend.load()]
+        for start in range(0, len(rows), args.micro_batch):
+            engine.ingest(rows[start:start + args.micro_batch])
+        print(
+            f"replayed {len(rows)} row(s) from {backend.kind} source: "
+            f"{engine.stats.releases} release(s), "
+            f"{engine.pending_count} pending"
+        )
+    try:
+        asyncio.run(service.run_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -382,8 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("anonymize", help="run DIVA on a CSV relation")
-    p.add_argument("input", help="input CSV (with .schema.json sidecar)")
+    p = sub.add_parser("anonymize", help="run DIVA on a relation")
+    p.add_argument(
+        "input",
+        help="input backend spec: CSV path, sqlite:DB::TABLE, "
+        "columnar:DIR, or descriptor .json",
+    )
     p.add_argument("output", help="output CSV path")
     p.add_argument("-k", type=int, required=True, help="privacy parameter k")
     p.add_argument("-c", "--constraints", help="diversity constraints file")
@@ -433,12 +522,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_anonymize)
 
-    p = sub.add_parser("check", help="validate an anonymized CSV")
-    p.add_argument("input", help="anonymized CSV")
+    p = sub.add_parser("check", help="validate an anonymized relation")
+    p.add_argument("input", help="anonymized relation (backend spec)")
     p.add_argument("-k", type=int, required=True)
     p.add_argument("-c", "--constraints", help="diversity constraints file")
-    p.add_argument("--original", help="original CSV for R ⊑ R* checking")
+    p.add_argument(
+        "--original", help="original relation (backend spec) for R ⊑ R* checking"
+    )
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "convert", help="copy a relation between storage backends"
+    )
+    p.add_argument("source", help="source backend spec")
+    p.add_argument(
+        "dest",
+        help="destination backend spec (unprefixed paths write CSV; use "
+        "sqlite:DB::TABLE or columnar:DIR for the other stores)",
+    )
+    p.set_defaults(fn=cmd_convert)
 
     p = sub.add_parser("dataset", help="generate an evaluation dataset")
     p.add_argument("name", choices=sorted(DATASETS))
@@ -448,9 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_dataset)
 
     p = sub.add_parser(
-        "stream", help="replay a CSV as micro-batches through the streaming engine"
+        "stream",
+        help="replay a relation as micro-batches through the streaming engine",
     )
-    p.add_argument("input", help="input CSV (with .schema.json sidecar)")
+    p.add_argument("input", help="input relation (backend spec)")
     p.add_argument("outdir", help="directory for release_NNNN.csv outputs")
     p.add_argument("-k", type=int, required=True, help="privacy parameter k")
     p.add_argument("-c", "--constraints", help="diversity constraints file")
@@ -469,6 +572,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-deferrals", type=int, default=2,
         help="publishes a stranded sub-k residual may wait before a full recompute",
+    )
+    p.add_argument(
+        "--scoped-batch", type=int, default=1,
+        help="defer scoped recomputes and drain the accumulated residual "
+        "queue every Nth round in one pooled run (default 1 = every batch)",
     )
     p.add_argument(
         "--strategy", default="maxfanout",
@@ -498,6 +606,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="print stream span timings and stream.* counters",
     )
     p.set_defaults(fn=cmd_stream)
+
+    p = sub.add_parser(
+        "serve", help="run the long-running anonymization service"
+    )
+    p.add_argument(
+        "source",
+        help="backend spec providing the stream schema (and optionally "
+        "the replayed history / release write-back target)",
+    )
+    p.add_argument("-k", type=int, required=True, help="privacy parameter k")
+    p.add_argument("-c", "--constraints", help="diversity constraints file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = pick a free port and print it)",
+    )
+    p.add_argument(
+        "--micro-batch", type=int, default=100,
+        help="ingested rows accumulated before the engine publishes "
+        "(default 100)",
+    )
+    p.add_argument(
+        "--replay", action="store_true",
+        help="feed the backend's existing rows through the engine before "
+        "serving, so the service starts with a published release",
+    )
+    p.add_argument(
+        "--write-releases", action="store_true",
+        help="write every published release back to the source backend "
+        "(sequence-numbered targets)",
+    )
+    p.add_argument(
+        "--bootstrap", type=int, default=None,
+        help="buffered tuples required before the first release (default k)",
+    )
+    p.add_argument(
+        "--max-deferrals", type=int, default=2,
+        help="publishes a stranded sub-k residual may wait before a full recompute",
+    )
+    p.add_argument(
+        "--scoped-batch", type=int, default=1,
+        help="scoped-recompute coalescing factor (see stream --scoped-batch)",
+    )
+    p.add_argument(
+        "--strategy", default="maxfanout",
+        choices=["basic", "minchoice", "maxfanout"],
+    )
+    p.add_argument("--anonymizer", default="k-member")
+    p.add_argument(
+        "--solver", default="auto", choices=["exact", "approx", "auto"],
+        help="solver tier for recompute runs (default auto: a service "
+        "should degrade to an approx-quality release rather than buffer "
+        "a hard batch indefinitely)",
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=100_000,
+        help="candidate-evaluation budget of the exact search "
+        "(default %(default)s)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for recompute runs (see anonymize --workers)",
+    )
+    p.add_argument(
+        "--executor", default="thread", choices=["thread", "process"],
+        help="pool flavor for --workers",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "report",

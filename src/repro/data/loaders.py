@@ -4,14 +4,22 @@ Relations round-trip through plain CSV so anonymized instances can be shared
 with downstream tools.  The suppression sentinel is serialized as ``*`` and
 attribute roles are written to a small sidecar schema file (JSON) so a
 relation can be reloaded with its QI/sensitive classification intact.
+
+Two read paths share one parser:
+
+* :func:`load_relation` — the whole file as one :class:`Relation`;
+* :func:`iter_rows` — the same rows as bounded chunks of ``(tid, row)``
+  pairs, so a consumer that feeds micro-batches (the streaming service's
+  :class:`repro.io.CsvBackend`) never materializes the full dataset.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Union
 
 from .relation import STAR, Attribute, AttributeKind, Relation, Schema
 
@@ -21,7 +29,13 @@ PathLike = Union[str, Path]
 
 
 def schema_to_dict(schema: Schema) -> dict:
-    """JSON-serializable description of a schema."""
+    """JSON-serializable description of a schema.
+
+    This serialization is the shared vocabulary of every persistence
+    surface: the ``.schema.json`` CSV sidecar, the SQL backend's dataset
+    descriptors and the columnar store's ``meta.json`` all embed it
+    verbatim (see :mod:`repro.io`).
+    """
     return {
         "attributes": [
             {"name": a.name, "kind": a.kind.value, "numeric": a.numeric}
@@ -42,6 +56,23 @@ def schema_from_dict(data: dict) -> Schema:
     return Schema(attrs)
 
 
+def relation_to_csv_bytes(relation: Relation) -> bytes:
+    """The exact CSV bytes :func:`save_relation` writes, in memory.
+
+    The serving layer uses this to build release bodies (and their strong
+    ETags) without touching the filesystem; keeping one serializer ensures
+    a release fetched over HTTP is byte-identical to one saved to disk.
+    """
+    out = io.StringIO(newline="")
+    writer = csv.writer(out)
+    writer.writerow(("__tid__",) + relation.schema.names)
+    for tid, row in relation:
+        writer.writerow(
+            (tid,) + tuple(STAR_TOKEN if v is STAR else v for v in row)
+        )
+    return out.getvalue().encode("utf-8")
+
+
 def save_relation(relation: Relation, csv_path: PathLike) -> None:
     """Write ``relation`` to ``csv_path`` plus a ``.schema.json`` sidecar.
 
@@ -50,16 +81,66 @@ def save_relation(relation: Relation, csv_path: PathLike) -> None:
     round-trip.
     """
     csv_path = Path(csv_path)
-    with open(csv_path, "w", newline="") as f:
-        writer = csv.writer(f)
-        writer.writerow(("__tid__",) + relation.schema.names)
-        for tid, row in relation:
-            writer.writerow(
-                (tid,) + tuple(STAR_TOKEN if v is STAR else v for v in row)
-            )
+    with open(csv_path, "wb") as f:
+        f.write(relation_to_csv_bytes(relation))
     sidecar = csv_path.with_suffix(csv_path.suffix + ".schema.json")
     with open(sidecar, "w") as f:
         json.dump(schema_to_dict(relation.schema), f, indent=2)
+
+
+def sidecar_schema(csv_path: PathLike) -> Schema:
+    """Load the ``.schema.json`` sidecar next to ``csv_path``."""
+    csv_path = Path(csv_path)
+    sidecar = csv_path.with_suffix(csv_path.suffix + ".schema.json")
+    if not sidecar.exists():
+        raise FileNotFoundError(
+            f"no schema given and sidecar {sidecar} not found"
+        )
+    with open(sidecar) as f:
+        return schema_from_dict(json.load(f))
+
+
+def iter_rows(
+    csv_path: PathLike, batch_size: int = 1_000, schema: Schema = None
+) -> Iterator[list[tuple[int, tuple]]]:
+    """Stream a saved relation as chunks of ``(tid, row)`` pairs.
+
+    Rows are parsed exactly as :func:`load_relation` parses them (numeric
+    restoration, ``*`` → :data:`STAR`) but yielded ``batch_size`` at a
+    time in storage order, holding at most one chunk in memory — the
+    micro-batch fetch path of :class:`repro.io.CsvBackend`.  The header is
+    validated against the schema before the first chunk is yielded.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    csv_path = Path(csv_path)
+    if schema is None:
+        schema = sidecar_schema(csv_path)
+    numeric = {a.name for a in schema if a.numeric}
+    names = schema.names
+    with open(csv_path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        if header[0] != "__tid__" or tuple(header[1:]) != names:
+            raise ValueError(
+                f"CSV header {header!r} does not match schema {names!r}"
+            )
+        chunk: list[tuple[int, tuple]] = []
+        for raw in reader:
+            row = []
+            for name, cell in zip(names, raw[1:]):
+                if cell == STAR_TOKEN:
+                    row.append(STAR)
+                elif name in numeric:
+                    row.append(_parse_number(cell))
+                else:
+                    row.append(cell)
+            chunk.append((int(raw[0]), tuple(row)))
+            if len(chunk) >= batch_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
 
 
 def load_relation(csv_path: PathLike, schema: Schema = None) -> Relation:
@@ -67,37 +148,16 @@ def load_relation(csv_path: PathLike, schema: Schema = None) -> Relation:
 
     If ``schema`` is not given, the ``.schema.json`` sidecar next to the CSV
     is required.  Numeric attributes are parsed back to int/float; the ``*``
-    token becomes :data:`STAR`.
+    token becomes :data:`STAR`.  Built on the chunked :func:`iter_rows`
+    parser, so the two paths can never drift.
     """
-    csv_path = Path(csv_path)
     if schema is None:
-        sidecar = csv_path.with_suffix(csv_path.suffix + ".schema.json")
-        if not sidecar.exists():
-            raise FileNotFoundError(
-                f"no schema given and sidecar {sidecar} not found"
-            )
-        with open(sidecar) as f:
-            schema = schema_from_dict(json.load(f))
-    numeric = {a.name for a in schema if a.numeric}
-    with open(csv_path, newline="") as f:
-        reader = csv.reader(f)
-        header = next(reader)
-        if header[0] != "__tid__" or tuple(header[1:]) != schema.names:
-            raise ValueError(
-                f"CSV header {header!r} does not match schema {schema.names!r}"
-            )
-        tids, rows = [], []
-        for raw in reader:
-            tids.append(int(raw[0]))
-            row = []
-            for name, cell in zip(schema.names, raw[1:]):
-                if cell == STAR_TOKEN:
-                    row.append(STAR)
-                elif name in numeric:
-                    row.append(_parse_number(cell))
-                else:
-                    row.append(cell)
-            rows.append(tuple(row))
+        schema = sidecar_schema(csv_path)
+    tids, rows = [], []
+    for chunk in iter_rows(csv_path, batch_size=4_096, schema=schema):
+        for tid, row in chunk:
+            tids.append(tid)
+            rows.append(row)
     return Relation(schema, rows, tids)
 
 

@@ -1,0 +1,40 @@
+"""``repro.io`` — pluggable storage backends.
+
+The batch pipeline historically read CSV files; this package abstracts
+storage behind one :class:`Backend` interface (schema discovery, row
+iteration, micro-batch fetch, release write-back) with three
+implementations:
+
+* :class:`CsvBackend` — the existing CSV + ``.schema.json`` layout,
+  micro-batched through the chunked loader path;
+* :class:`SqlBackend` — SQLite tables behind config-driven dataset
+  descriptors mapping columns to QI/sensitive roles;
+* :class:`ColumnarBackend` — memory-mapped int32 code matrices that feed
+  :meth:`repro.core.index.RelationIndex.from_columnar` directly, skipping
+  re-factorization on every load.
+
+:func:`open_backend` resolves URIs (``csv:``, ``sqlite:``, ``columnar:``),
+descriptor files and bare paths; the CLI accepts any of them wherever it
+took a CSV path before.
+"""
+
+from .backends import (  # noqa: F401
+    Backend,
+    BackendError,
+    CsvBackend,
+    SqlBackend,
+)
+from .columnar import ColumnarBackend, is_columnar_store, write_columnar  # noqa: F401
+from .uri import BackendSpec, open_backend  # noqa: F401
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BackendSpec",
+    "CsvBackend",
+    "SqlBackend",
+    "ColumnarBackend",
+    "open_backend",
+    "write_columnar",
+    "is_columnar_store",
+]

@@ -1,0 +1,373 @@
+"""The storage-backend interface and the CSV / SQL implementations.
+
+A :class:`Backend` abstracts where a relation lives: schema discovery,
+streaming row iteration, micro-batch fetch for the serving layer, and
+release write-back.  Whatever the store, the contract is the same:
+
+* **Row order is storage order** — two backends holding the same relation
+  yield identical ``(tid, row)`` sequences, so downstream factorization
+  (:class:`repro.core.index.RelationIndex`) produces byte-identical code
+  matrices regardless of where the rows came from.
+* **Values round-trip exactly** — numeric cells come back as int/float,
+  categorical cells as str, and the suppression sentinel survives (the
+  ``*`` token convention shared with the CSV loaders).
+* **Releases are written, never rewritten** — :meth:`Backend.write_release`
+  targets a fresh, sequence-numbered location (file, table or directory),
+  mirroring the immutability of published releases.
+
+``tests/test_backends.py`` runs every implementation through one shared
+conformance suite: same relation in ⇒ identical ``RelationIndex`` codes
+and identical DIVA release out.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from .. import obs
+from ..data.loaders import (
+    STAR_TOKEN,
+    PathLike,
+    iter_rows,
+    save_relation,
+    schema_from_dict,
+    schema_to_dict,
+    sidecar_schema,
+)
+from ..data.relation import STAR, Attribute, AttributeKind, Relation, Schema
+
+
+class BackendError(ValueError):
+    """A backend spec/descriptor is malformed or points at a bad store."""
+
+
+class Backend(abc.ABC):
+    """Abstract storage backend for relations.
+
+    Subclasses implement schema discovery (:meth:`schema`), chunked row
+    production (:meth:`_iter_chunks`) and the two write-back directions
+    (:meth:`write_source` for the dataset itself, :meth:`write_release`
+    for sequence-numbered anonymized releases).  Everything else — full
+    loads, micro-batch fetch, ``io.*`` telemetry — is shared here.
+    """
+
+    #: Short scheme name (``csv`` / ``sqlite`` / ``columnar``), also the
+    #: URI prefix :func:`repro.io.open_backend` dispatches on.
+    kind: str = "?"
+
+    @abc.abstractmethod
+    def schema(self) -> Schema:
+        """The relation's schema with QI/sensitive roles attached."""
+
+    @abc.abstractmethod
+    def _iter_chunks(
+        self, batch_size: int
+    ) -> Iterator[list[tuple[int, tuple]]]:
+        """Yield ``(tid, row)`` chunks of at most ``batch_size`` in storage order."""
+
+    @abc.abstractmethod
+    def write_source(self, relation: Relation) -> str:
+        """Persist ``relation`` as this backend's source dataset.
+
+        Returns a human-readable target description.  Used by dataset
+        conversion (``repro convert``) and the conformance tests; the
+        write must be readable back by the same backend with identical
+        rows, tids and schema roles.
+        """
+
+    @abc.abstractmethod
+    def write_release(self, relation: Relation, sequence: int = 0) -> str:
+        """Write one published release to a fresh sequence-numbered target."""
+
+    # -- shared surface --------------------------------------------------------
+
+    def iter_rows(self, batch_size: int = 1_000) -> Iterator[tuple[int, tuple]]:
+        """Stream ``(tid, row)`` pairs in storage order, ``batch_size`` buffered."""
+        for chunk in self._iter_chunks(batch_size):
+            yield from chunk
+
+    def fetch_batches(self, batch_size: int) -> Iterator[Relation]:
+        """Micro-batch fetch: bounded sub-relations in storage order.
+
+        The service ingestion path — at most one batch is materialized at
+        a time, so a long stream never holds the full dataset.
+        """
+        schema = self.schema()
+        for chunk in self._iter_chunks(batch_size):
+            obs.incr(obs.IO_BATCHES_FETCHED)
+            obs.incr(obs.IO_ROWS_READ, len(chunk))
+            yield Relation(
+                schema, [row for _, row in chunk], [tid for tid, _ in chunk]
+            )
+
+    def load(self) -> Relation:
+        """The whole relation (the batch-program path)."""
+        with obs.span(obs.SPAN_IO_LOAD):
+            schema = self.schema()
+            tids: list[int] = []
+            rows: list[tuple] = []
+            for chunk in self._iter_chunks(4_096):
+                for tid, row in chunk:
+                    tids.append(tid)
+                    rows.append(row)
+            obs.incr(obs.IO_ROWS_READ, len(rows))
+            return Relation(schema, rows, tids)
+
+    def _note_release_written(self, target: str) -> str:
+        obs.incr(obs.IO_RELEASES_WRITTEN)
+        return target
+
+
+class CsvBackend(Backend):
+    """The existing CSV-plus-sidecar layout behind the backend interface.
+
+    Semantics are exactly :mod:`repro.data.loaders` — same parser, same
+    ``*`` token, same ``.schema.json`` sidecar — with micro-batch fetch
+    riding the chunked :func:`repro.data.loaders.iter_rows` path so the
+    file is never slurped whole.
+    """
+
+    kind = "csv"
+
+    def __init__(self, path: PathLike, schema: Optional[Schema] = None):
+        self.path = Path(path)
+        self._schema = schema
+
+    def __repr__(self) -> str:
+        return f"CsvBackend({self.path})"
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            self._schema = sidecar_schema(self.path)
+        return self._schema
+
+    def _iter_chunks(self, batch_size: int):
+        return iter_rows(self.path, batch_size, schema=self.schema())
+
+    def write_source(self, relation: Relation) -> str:
+        save_relation(relation, self.path)
+        self._schema = relation.schema
+        return str(self.path)
+
+    def write_release(self, relation: Relation, sequence: int = 0) -> str:
+        target = self.path.with_name(
+            f"{self.path.stem}_release_{sequence:04d}{self.path.suffix or '.csv'}"
+        )
+        save_relation(relation, target)
+        return self._note_release_written(str(target))
+
+
+def _quote_ident(name: str) -> str:
+    """SQL-quote an identifier (doubling embedded quotes)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SqlBackend(Backend):
+    """Relations in a SQLite database behind config-driven descriptors.
+
+    A *dataset descriptor* maps a table and its columns to anonymization
+    roles; it reuses the :func:`schema_to_dict` serialization verbatim::
+
+        {"backend": "sqlite", "database": "census.db", "table": "census",
+         "tid_column": "__tid__",
+         "schema": {"attributes": [{"name": "AGE", "kind": "quasi",
+                                    "numeric": true}, ...]}}
+
+    Role resolution order: an explicit ``schema`` argument, then the
+    descriptor sidecar ``<database>.<table>.descriptor.json`` written by
+    :meth:`write_source`, then PRAGMA introspection (every non-tid column
+    becomes a QI, numeric iff its declared affinity is INTEGER/REAL) —
+    the discovery fallback for pre-existing tables.
+
+    Values are stored natively (int/float/str); suppressed cells use the
+    CSV layer's ``*`` token.  Row order is ``ORDER BY`` the tid column,
+    and tids are stable, so factorized codes match the other backends.
+    """
+
+    kind = "sqlite"
+
+    TID_COLUMN = "__tid__"
+
+    def __init__(
+        self,
+        database: PathLike,
+        table: str,
+        *,
+        schema: Optional[Schema] = None,
+        tid_column: str = TID_COLUMN,
+    ):
+        if not table or not isinstance(table, str):
+            raise BackendError(f"bad table name {table!r}")
+        self.database = Path(database)
+        self.table = table
+        self.tid_column = tid_column
+        self._schema = schema
+
+    def __repr__(self) -> str:
+        return f"SqlBackend({self.database}::{self.table})"
+
+    @classmethod
+    def from_descriptor(
+        cls, descriptor: dict, base_dir: Optional[PathLike] = None
+    ) -> "SqlBackend":
+        """Build a backend from a parsed descriptor dict.
+
+        Relative database paths resolve against ``base_dir`` (usually the
+        descriptor file's directory) so descriptor configs can travel with
+        their data.
+        """
+        try:
+            database = Path(descriptor["database"])
+            table = descriptor["table"]
+        except KeyError as exc:
+            raise BackendError(f"descriptor missing key: {exc}") from exc
+        if base_dir is not None and not database.is_absolute():
+            database = Path(base_dir) / database
+        schema = None
+        if "schema" in descriptor:
+            schema = schema_from_dict(descriptor["schema"])
+        return cls(
+            database,
+            table,
+            schema=schema,
+            tid_column=descriptor.get("tid_column", cls.TID_COLUMN),
+        )
+
+    def descriptor(self) -> dict:
+        """This backend's dataset descriptor (the inverse of ``from_descriptor``)."""
+        return {
+            "backend": self.kind,
+            "database": str(self.database),
+            "table": self.table,
+            "tid_column": self.tid_column,
+            "schema": schema_to_dict(self.schema()),
+        }
+
+    def _sidecar(self) -> Path:
+        return self.database.with_name(
+            f"{self.database.name}.{self.table}.descriptor.json"
+        )
+
+    def _connect(self) -> sqlite3.Connection:
+        if not self.database.exists():
+            raise BackendError(f"database {self.database} does not exist")
+        return sqlite3.connect(self.database)
+
+    def schema(self) -> Schema:
+        if self._schema is not None:
+            return self._schema
+        sidecar = self._sidecar()
+        if sidecar.exists():
+            with open(sidecar) as f:
+                data = json.load(f)
+            self._schema = schema_from_dict(data["schema"])
+            return self._schema
+        self._schema = self._introspect()
+        return self._schema
+
+    def _introspect(self) -> Schema:
+        """Discovery fallback: columns from PRAGMA, every non-tid a QI."""
+        with self._connect() as conn:
+            info = conn.execute(
+                f"PRAGMA table_info({_quote_ident(self.table)})"
+            ).fetchall()
+        if not info:
+            raise BackendError(
+                f"table {self.table!r} not found in {self.database}"
+            )
+        attrs = []
+        for _cid, name, decl_type, *_ in info:
+            if name == self.tid_column:
+                continue
+            numeric = (decl_type or "").upper() in ("INTEGER", "REAL", "INT")
+            attrs.append(
+                Attribute(name, AttributeKind.QUASI_IDENTIFIER, numeric)
+            )
+        return Schema(attrs)
+
+    def _iter_chunks(self, batch_size: int):
+        schema = self.schema()
+        numeric = {a.name for a in schema if a.numeric}
+        names = schema.names
+        cols = ", ".join(_quote_ident(n) for n in (self.tid_column,) + names)
+        # Storage order, not tid order: the tid column is deliberately NOT
+        # the rowid alias, so the implicit rowid preserves insert order and
+        # factorized codes match the CSV/columnar backends byte-for-byte.
+        query = (
+            f"SELECT {cols} FROM {_quote_ident(self.table)} ORDER BY rowid"
+        )
+        conn = self._connect()
+        try:
+            cursor = conn.execute(query)
+            while True:
+                fetched = cursor.fetchmany(batch_size)
+                if not fetched:
+                    break
+                chunk = []
+                for raw in fetched:
+                    row = tuple(
+                        self._decode_cell(name, cell, name in numeric)
+                        for name, cell in zip(names, raw[1:])
+                    )
+                    chunk.append((int(raw[0]), row))
+                yield chunk
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode_cell(name: str, cell: Any, numeric: bool):
+        if cell == STAR_TOKEN:
+            return STAR
+        if numeric and isinstance(cell, str):
+            # A numeric column read through a fresh descriptor after a
+            # text-affinity insert: restore int/float like the CSV parser.
+            try:
+                return int(cell)
+            except ValueError:
+                return float(cell)
+        return cell
+
+    # -- write paths -----------------------------------------------------------
+
+    def write_source(self, relation: Relation) -> str:
+        self._schema = relation.schema
+        self._write_table(relation, self.table)
+        with open(self._sidecar(), "w") as f:
+            json.dump(self.descriptor(), f, indent=2)
+        return f"{self.database}::{self.table}"
+
+    def write_release(self, relation: Relation, sequence: int = 0) -> str:
+        table = f"{self.table}_release_{sequence:04d}"
+        self._write_table(relation, table)
+        return self._note_release_written(f"{self.database}::{table}")
+
+    def _write_table(self, relation: Relation, table: str) -> None:
+        schema = relation.schema
+        decls = [f"{_quote_ident(self.tid_column)} INTEGER"]
+        for attr in schema:
+            affinity = "INTEGER" if attr.numeric else "TEXT"
+            decls.append(f"{_quote_ident(attr.name)} {affinity}")
+        placeholders = ", ".join("?" for _ in range(len(schema) + 1))
+        self.database.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.database)
+        try:
+            with conn:
+                conn.execute(f"DROP TABLE IF EXISTS {_quote_ident(table)}")
+                conn.execute(
+                    f"CREATE TABLE {_quote_ident(table)} ({', '.join(decls)})"
+                )
+                conn.executemany(
+                    f"INSERT INTO {_quote_ident(table)} VALUES ({placeholders})",
+                    (
+                        (tid,) + tuple(
+                            STAR_TOKEN if v is STAR else v for v in row
+                        )
+                        for tid, row in relation
+                    ),
+                )
+        finally:
+            conn.close()

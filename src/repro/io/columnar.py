@@ -1,0 +1,238 @@
+"""Memory-mapped columnar store: factorize once, load forever.
+
+The columnar backend persists exactly what :class:`repro.core.index.
+RelationIndex` computes on every load of a CSV or SQL dataset — the int32
+code matrix plus the per-column value↔code books — so reopening a dataset
+memory-maps the codes and assembles the index via
+:meth:`RelationIndex.from_columnar` instead of re-factorizing columns.
+This is the on-disk sibling of the shared-memory transport
+(:mod:`repro.core.shm`): same artifacts, same assembly path, different
+lifetime.
+
+Layout of a store directory::
+
+    meta.json   format tag, shape, schema (schema_to_dict), tagged codebooks
+    codes.bin   int32 row-major (n × m) code matrix, memory-mapped on load
+    tids.bin    int64 tuple ids in storage order
+
+Codebook values are JSON-tagged (``["i", 42]``, ``["f", 1.5]``,
+``["s", "Asian"]``, ``["*"]`` for the suppression sentinel) so numeric
+types and STARs survive the round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from .. import obs
+from ..core.index import RelationIndex, get_index
+from ..data.loaders import PathLike, schema_from_dict, schema_to_dict
+from ..data.relation import STAR, Relation, Schema
+from .backends import Backend, BackendError
+
+FORMAT = "repro-columnar"
+VERSION = 1
+
+META_FILE = "meta.json"
+CODES_FILE = "codes.bin"
+TIDS_FILE = "tids.bin"
+
+
+def _tag_value(value) -> list:
+    """JSON-encode one codebook value with an exact-round-trip type tag."""
+    if value is STAR:
+        return ["*"]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, (int, np.integer)):
+        return ["i", int(value)]
+    if isinstance(value, (float, np.floating)):
+        return ["f", float(value)]
+    if isinstance(value, str):
+        return ["s", value]
+    raise BackendError(
+        f"cannot persist codebook value of type {type(value).__name__}"
+    )
+
+
+def _untag_value(tagged: list):
+    tag = tagged[0]
+    if tag == "*":
+        return STAR
+    if tag == "b":
+        return bool(tagged[1])
+    if tag == "i":
+        return int(tagged[1])
+    if tag == "f":
+        return float(tagged[1])
+    if tag == "s":
+        return tagged[1]
+    raise BackendError(f"unknown codebook value tag {tag!r}")
+
+
+def write_columnar(relation: Relation, directory: PathLike) -> Path:
+    """Persist ``relation`` as a columnar store under ``directory``.
+
+    The codes come from the relation's own :class:`RelationIndex` (built
+    on demand), so a store write is also an index build — and a later
+    :meth:`ColumnarBackend.load` reproduces that index bit-for-bit.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    index = get_index(relation)
+    codes = np.ascontiguousarray(index.codes, dtype=np.int32)
+    tids = np.ascontiguousarray(index.tids, dtype=np.int64)
+    codebooks = []
+    for book in index.codebooks:
+        # Dict insertion order is code order (codes are allocated 0, 1, …),
+        # so a plain list of tagged values, indexed by code, inverts it.
+        codebooks.append([_tag_value(value) for value in book])
+    meta = {
+        "format": FORMAT,
+        "version": VERSION,
+        "rows": int(codes.shape[0]),
+        "cols": int(codes.shape[1]),
+        "schema": schema_to_dict(relation.schema),
+        "codebooks": codebooks,
+    }
+    codes.tofile(directory / CODES_FILE)
+    tids.tofile(directory / TIDS_FILE)
+    with open(directory / META_FILE, "w") as f:
+        json.dump(meta, f)
+    return directory
+
+
+def is_columnar_store(directory: PathLike) -> bool:
+    """True iff ``directory`` looks like a columnar store."""
+    return (Path(directory) / META_FILE).exists()
+
+
+class ColumnarBackend(Backend):
+    """Relations as memory-mapped int32 code matrices.
+
+    :meth:`load` maps ``codes.bin`` read-only, decodes rows through the
+    codebooks, and attaches a :meth:`RelationIndex.from_columnar` index to
+    the returned relation — so every kernel consumer downstream skips the
+    per-load factorization pass entirely.
+    """
+
+    kind = "columnar"
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self._meta: Optional[dict] = None
+        self._schema: Optional[Schema] = None
+
+    def __repr__(self) -> str:
+        return f"ColumnarBackend({self.directory})"
+
+    # -- store access ----------------------------------------------------------
+
+    def _load_meta(self) -> dict:
+        if self._meta is None:
+            meta_path = self.directory / META_FILE
+            if not meta_path.exists():
+                raise BackendError(
+                    f"{self.directory} is not a columnar store (no {META_FILE})"
+                )
+            with open(meta_path) as f:
+                meta = json.load(f)
+            if meta.get("format") != FORMAT:
+                raise BackendError(
+                    f"{meta_path}: unexpected format {meta.get('format')!r}"
+                )
+            if meta.get("version") != VERSION:
+                raise BackendError(
+                    f"{meta_path}: unsupported version {meta.get('version')!r}"
+                )
+            self._meta = meta
+        return self._meta
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            self._schema = schema_from_dict(self._load_meta()["schema"])
+        return self._schema
+
+    def _open_arrays(self) -> tuple[np.ndarray, np.ndarray, list[list]]:
+        meta = self._load_meta()
+        n, m = meta["rows"], meta["cols"]
+        if n:
+            codes = np.memmap(
+                self.directory / CODES_FILE, dtype=np.int32, mode="r",
+                shape=(n, m),
+            )
+            tids = np.fromfile(self.directory / TIDS_FILE, dtype=np.int64)
+        else:
+            codes = np.empty((0, m), dtype=np.int32)
+            tids = np.empty(0, dtype=np.int64)
+        if tids.shape[0] != n:
+            raise BackendError(
+                f"{self.directory}: tids length {tids.shape[0]} != rows {n}"
+            )
+        values = [
+            [_untag_value(tagged) for tagged in book]
+            for book in meta["codebooks"]
+        ]
+        return codes, tids, values
+
+    def _decode_rows(
+        self, codes: np.ndarray, values: list[list]
+    ) -> list[tuple]:
+        columns = [
+            [values[j][code] for code in codes[:, j]]
+            for j in range(codes.shape[1])
+        ]
+        if not columns:
+            return [() for _ in range(codes.shape[0])]
+        return list(zip(*columns))
+
+    # -- Backend surface -------------------------------------------------------
+
+    def load(self) -> Relation:
+        """Decode the relation and attach its prebuilt columnar index."""
+        with obs.span(obs.SPAN_IO_LOAD):
+            schema = self.schema()
+            codes, tids, values = self._open_arrays()
+            rows = self._decode_rows(codes, values)
+            relation = Relation(schema, rows, [int(t) for t in tids])
+            qi_positions = [
+                schema.position(a) for a in schema.qi_names
+            ]
+            if qi_positions:
+                qi_codes = np.ascontiguousarray(codes[:, qi_positions])
+            else:
+                qi_codes = np.empty((codes.shape[0], 0), dtype=np.int32)
+            codebooks = [
+                {value: code for code, value in enumerate(book)}
+                for book in values
+            ]
+            relation._kernel_index = RelationIndex.from_columnar(
+                relation, codes, qi_codes, tids, codebooks
+            )
+            obs.incr(obs.IO_ROWS_READ, len(relation))
+            return relation
+
+    def _iter_chunks(self, batch_size: int):
+        codes, tids, values = self._open_arrays()
+        for start in range(0, codes.shape[0], batch_size):
+            block = np.asarray(codes[start:start + batch_size])
+            rows = self._decode_rows(block, values)
+            yield [
+                (int(tid), row)
+                for tid, row in zip(tids[start:start + batch_size], rows)
+            ]
+
+    def write_source(self, relation: Relation) -> str:
+        write_columnar(relation, self.directory)
+        self._meta = None
+        self._schema = relation.schema
+        return str(self.directory)
+
+    def write_release(self, relation: Relation, sequence: int = 0) -> str:
+        target = self.directory / f"release_{sequence:04d}"
+        write_columnar(relation, target)
+        return self._note_release_written(str(target))

@@ -1,0 +1,107 @@
+"""Backend resolution: URIs, dataset descriptors and bare paths.
+
+``open_backend`` is the single front door the CLI and the service use
+wherever a CSV path was accepted before.  Accepted specs:
+
+* ``csv:people.csv`` — explicit CSV backend;
+* ``sqlite:census.db::census`` — SQLite ``database::table``;
+* ``columnar:census.cols`` — a columnar store directory;
+* ``descriptor.json`` — a dataset descriptor file whose ``"backend"`` key
+  names the implementation (the config-driven path; relative data paths
+  resolve against the descriptor's directory);
+* a bare path — a directory holding a columnar store opens as one, a
+  ``.json`` file as a descriptor, anything else as CSV (backward
+  compatible with every existing call site).
+
+A parsed descriptor dict is also accepted directly, as is an already
+constructed :class:`Backend` (returned unchanged).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..data.loaders import PathLike
+from ..data.relation import Schema
+from .backends import Backend, BackendError, CsvBackend, SqlBackend
+from .columnar import ColumnarBackend, is_columnar_store
+
+BackendSpec = Union[str, PathLike, dict, Backend]
+
+
+def _from_descriptor(
+    descriptor: dict, base_dir: Optional[PathLike] = None
+) -> Backend:
+    kind = descriptor.get("backend")
+    if kind == "csv":
+        try:
+            path = Path(descriptor["path"])
+        except KeyError as exc:
+            raise BackendError(f"descriptor missing key: {exc}") from exc
+        if base_dir is not None and not path.is_absolute():
+            path = Path(base_dir) / path
+        return CsvBackend(path)
+    if kind == "sqlite":
+        return SqlBackend.from_descriptor(descriptor, base_dir=base_dir)
+    if kind == "columnar":
+        try:
+            directory = Path(descriptor["directory"])
+        except KeyError as exc:
+            raise BackendError(f"descriptor missing key: {exc}") from exc
+        if base_dir is not None and not directory.is_absolute():
+            directory = Path(base_dir) / directory
+        return ColumnarBackend(directory)
+    raise BackendError(
+        f"descriptor names unknown backend {kind!r} "
+        "(expected csv, sqlite or columnar)"
+    )
+
+
+def _from_descriptor_file(path: Path) -> Backend:
+    try:
+        with open(path) as f:
+            descriptor = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BackendError(f"cannot read descriptor {path}: {exc}") from exc
+    if not isinstance(descriptor, dict):
+        raise BackendError(f"descriptor {path} is not a JSON object")
+    return _from_descriptor(descriptor, base_dir=path.parent)
+
+
+def open_backend(
+    spec: BackendSpec, schema: Optional[Schema] = None
+) -> Backend:
+    """Resolve ``spec`` to a :class:`Backend` (see module docstring).
+
+    ``schema`` overrides discovery for backends that accept one (CSV
+    without a sidecar, SQL without a descriptor).
+    """
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, dict):
+        return _from_descriptor(spec)
+    text = str(spec)
+    if text.startswith("csv:"):
+        return CsvBackend(text[len("csv:"):], schema=schema)
+    if text.startswith("sqlite:"):
+        rest = text[len("sqlite:"):]
+        if "::" not in rest:
+            raise BackendError(
+                f"sqlite spec {text!r} must be sqlite:DATABASE::TABLE"
+            )
+        database, table = rest.rsplit("::", 1)
+        return SqlBackend(database, table, schema=schema)
+    if text.startswith("columnar:"):
+        return ColumnarBackend(text[len("columnar:"):])
+    path = Path(text)
+    if path.is_dir():
+        if is_columnar_store(path):
+            return ColumnarBackend(path)
+        raise BackendError(
+            f"{path} is a directory but not a columnar store"
+        )
+    if path.suffix == ".json":
+        return _from_descriptor_file(path)
+    return CsvBackend(path, schema=schema)

@@ -44,6 +44,9 @@ from .names import (  # noqa: F401
     GRAPH_NODES,
     INDEX_CLUSTER_CACHE_HITS,
     INDEX_CLUSTER_CACHE_MISSES,
+    IO_BATCHES_FETCHED,
+    IO_RELEASES_WRITTEN,
+    IO_ROWS_READ,
     KMEMBER_CLUSTERS,
     KMEMBER_LEFTOVERS,
     PARALLEL_COMPONENT_WALL_NS,
@@ -56,6 +59,12 @@ from .names import (  # noqa: F401
     PARALLEL_TASKS_CANCELLED,
     PARALLEL_TASKS_CHUNKED,
     PARALLEL_TASKS_DISPATCHED,
+    SERVE_ERRORS,
+    SERVE_INGESTED_ROWS,
+    SERVE_PUBLISHES,
+    SERVE_RELEASE_FETCHES,
+    SERVE_RELEASE_NOT_MODIFIED,
+    SERVE_REQUESTS,
     SPAN_ANONYMIZE,
     SPAN_COLORING_SEARCH,
     SPAN_DIVA_RUN,
@@ -64,10 +73,13 @@ from .names import (  # noqa: F401
     SPAN_ENUMERATE_CANDIDATES,
     SPAN_GRAPH_BUILD,
     SPAN_INTEGRATE,
+    SPAN_IO_LOAD,
     SPAN_KMEMBER_CLUSTER,
     SPAN_PARALLEL_SCHEDULE,
     SPAN_PARALLEL_SHM_EXPORT,
     SPAN_REFINE,
+    SPAN_SERVE_PUBLISH,
+    SPAN_SERVE_REQUEST,
     SPAN_STREAM_EXTEND,
     SPAN_STREAM_INGEST,
     SPAN_STREAM_PUBLISH,
@@ -84,6 +96,7 @@ from .names import (  # noqa: F401
     STREAM_RECOMPUTES_FULL,
     STREAM_RECOMPUTES_SCOPED,
     STREAM_RELEASES_PUBLISHED,
+    STREAM_SCOPED_DEFERRED,
     STREAM_TUPLES_EXTENDED,
     STREAM_TUPLES_INGESTED,
     STREAM_TUPLES_RECOMPUTED,

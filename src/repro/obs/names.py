@@ -94,6 +94,31 @@ PARALLEL_SHM_BYTES_EXPORTED = "parallel.shm.bytes_exported"
 PARALLEL_SHM_ATTACH_NS = "parallel.shm.attach_ns"
 PARALLEL_SHM_FALLBACKS = "parallel.shm.fallbacks"
 
+#: Streaming engine: scoped-recompute rounds whose pooled drain was
+#: deferred by the ``scoped_batch`` coalescing knob — each deferred round
+#: publishes extension-only and leaves its residuals queued, so one later
+#: scoped DIVA run (a single ``component_coloring`` submission) drains the
+#: whole queue instead of dispatching a pool per round.
+STREAM_SCOPED_DEFERRED = "stream.scoped_deferred"
+
+#: Storage backends (:mod:`repro.io`): rows materialized from a backend
+#: (full loads and micro-batch fetches both count), micro-batches fetched,
+#: and releases written back through :meth:`Backend.write_release`.
+IO_ROWS_READ = "io.rows_read"
+IO_BATCHES_FETCHED = "io.batches_fetched"
+IO_RELEASES_WRITTEN = "io.releases_written"
+
+#: Anonymization service (:mod:`repro.serve`): request volume by outcome.
+#: ``release_fetches`` counts full-body release responses (200);
+#: ``release_not_modified`` counts conditional GETs answered ``304`` from
+#: the ETag check — the cache-hit path read traffic scales on.
+SERVE_REQUESTS = "serve.requests"
+SERVE_ERRORS = "serve.errors"
+SERVE_INGESTED_ROWS = "serve.ingested_rows"
+SERVE_PUBLISHES = "serve.publishes"
+SERVE_RELEASE_FETCHES = "serve.release_fetches"
+SERVE_RELEASE_NOT_MODIFIED = "serve.release_not_modified"
+
 #: Solver tier (``solver=`` axis): exact→approx escalations taken when the
 #: ``auto`` tier catches a budget-exhausted exact search (one per
 #: escalation — monolithic runs emit at most one, per-component pooled
@@ -137,6 +162,16 @@ ALL_COUNTERS = (
     STREAM_RECOMPUTES_SCOPED,
     STREAM_RECOMPUTES_FULL,
     STREAM_RELEASES_PUBLISHED,
+    STREAM_SCOPED_DEFERRED,
+    IO_ROWS_READ,
+    IO_BATCHES_FETCHED,
+    IO_RELEASES_WRITTEN,
+    SERVE_REQUESTS,
+    SERVE_ERRORS,
+    SERVE_INGESTED_ROWS,
+    SERVE_PUBLISHES,
+    SERVE_RELEASE_FETCHES,
+    SERVE_RELEASE_NOT_MODIFIED,
     PARALLEL_COMPONENTS,
     PARALLEL_TASKS_DISPATCHED,
     PARALLEL_TASKS_CHUNKED,
@@ -189,6 +224,16 @@ SPAN_PARALLEL_SHM_EXPORT = "parallel.shm.export"
 #: directly (``solver=approx``) or by an ``auto``-tier escalation.
 SPAN_APPROX_SOLVE = "solver.approx.solve"
 
+#: Storage backends: one full :meth:`Backend.load` (schema discovery plus
+#: row materialization — the columnar backend's is a memory-map attach).
+SPAN_IO_LOAD = "io.load"
+
+#: Anonymization service: one HTTP request (parse → route → respond) and
+#: the publish region driven off the event loop (micro-batch ingest →
+#: engine publish → optional release write-back).
+SPAN_SERVE_REQUEST = "serve.request"
+SPAN_SERVE_PUBLISH = "serve.publish"
+
 ALL_SPANS = (
     SPAN_DIVA_RUN,
     SPAN_DIVERSE_CLUSTERING,
@@ -208,4 +253,7 @@ ALL_SPANS = (
     SPAN_PARALLEL_SCHEDULE,
     SPAN_PARALLEL_SHM_EXPORT,
     SPAN_APPROX_SOLVE,
+    SPAN_IO_LOAD,
+    SPAN_SERVE_REQUEST,
+    SPAN_SERVE_PUBLISH,
 )

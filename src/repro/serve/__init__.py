@@ -1,0 +1,24 @@
+"""``repro.serve`` — the long-running anonymization service.
+
+An asyncio HTTP service wrapping :class:`repro.stream.StreamingAnonymizer`:
+arrivals POSTed to ``/ingest`` accumulate into micro-batches and drive
+extend/scoped/full recomputes off the event loop; validated releases are
+served from the :class:`~repro.stream.ReleaseLedger` head with strong
+ETags and ``304 Not Modified`` revalidation; ``/healthz`` and ``/metrics``
+expose liveness and the ``repro.obs`` counter snapshot.
+
+See :mod:`repro.serve.service` for the publish/consistency model and
+:mod:`repro.serve.http` for the stdlib-only transport.
+"""
+
+from .http import HttpError, HttpServer, Request, Response  # noqa: F401
+from .service import AnonymizationService, ServiceCollector  # noqa: F401
+
+__all__ = [
+    "AnonymizationService",
+    "ServiceCollector",
+    "HttpError",
+    "HttpServer",
+    "Request",
+    "Response",
+]

@@ -1,0 +1,359 @@
+"""The long-running anonymization service.
+
+:class:`AnonymizationService` wraps a :class:`repro.stream.
+StreamingAnonymizer` behind the HTTP transport of :mod:`repro.serve.http`:
+
+* ``POST /ingest`` — accepts arrival rows (JSON), accumulates them into
+  micro-batches, and drives the engine's extend → scoped → full publish
+  decision **off the event loop** (a worker thread), so the service keeps
+  answering reads while a recompute runs.  With ``solver="auto"`` a
+  budget-exhausted recompute degrades to the warm-started approximation
+  tier instead of failing the batch.
+* ``POST /flush`` — force-drains the buffer (end of stream).
+* ``GET /release`` — the current published release as CSV, with a strong
+  content-hash ``ETag``; ``If-None-Match`` revalidation answers ``304
+  Not Modified`` without re-serializing anything.  ``GET /release/<n>``
+  addresses a specific sequence (only the head is retrievable — earlier
+  sequences answer ``410 Gone`` with their metadata stamp).
+* ``GET /releases`` — the validated metadata trail (one stamp per
+  publication), ``GET /schema`` — the stream schema.
+* ``GET /healthz`` and ``GET /metrics`` — liveness and the ``repro.obs``
+  counter/histogram snapshot in a Prometheus-style text format.
+
+**Publish/consistency model.**  The engine publishes through
+:class:`repro.stream.ReleaseLedger`, which re-validates the full (k, Σ)
+contract before swapping the head — so a release becomes visible to
+``GET /release`` only after validation, and every response is built from
+one immutable head (no torn reads: a request that started against
+sequence *n* serves sequence *n* complete).  Releases are immutable once
+published; read traffic therefore scales behind the ETag cache — the
+overwhelmingly common revalidation answer is a 304 with no body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from typing import Any, Mapping, Optional, Sequence
+
+from .. import obs
+from ..data.loaders import relation_to_csv_bytes, schema_to_dict
+from ..io.backends import Backend
+from ..obs.sinks import Collector, SpanEvent
+from ..stream.engine import StreamingAnonymizer
+from .http import HttpError, HttpServer, Request, Response
+
+#: Span events retained verbatim by the service collector; older events
+#: fold into the per-name histograms and counters, which are exact and
+#: bounded, so a long-running service does not grow without bound.
+SPAN_RETENTION = 4_096
+
+
+class ServiceCollector(Collector):
+    """A :class:`Collector` with a bounded span list (daemon lifetime)."""
+
+    def emit_span(self, event: SpanEvent) -> None:
+        super().emit_span(event)
+        if len(self.spans) > 2 * SPAN_RETENTION:
+            del self.spans[:-SPAN_RETENTION]
+
+
+class AnonymizationService:
+    """HTTP facade over one streaming anonymization engine.
+
+    Parameters
+    ----------
+    engine:
+        The configured :class:`StreamingAnonymizer`.  The service owns its
+        execution: every engine call runs in a worker thread under one
+        lock, serializing publishes while the event loop stays free.
+    micro_batch:
+        Arrivals accumulated before the engine sees a batch.  Small
+        ingests buffer; one large ingest drains in ``micro_batch`` slices.
+    release_backend:
+        Optional :class:`repro.io.Backend` that every validated release
+        is written back to (``write_release``), keyed by its sequence.
+    """
+
+    def __init__(
+        self,
+        engine: StreamingAnonymizer,
+        *,
+        micro_batch: int = 100,
+        release_backend: Optional[Backend] = None,
+        collector: Optional[Collector] = None,
+    ):
+        if micro_batch < 1:
+            raise ValueError("micro_batch must be at least 1")
+        self.engine = engine
+        self.micro_batch = micro_batch
+        self.release_backend = release_backend
+        self.collector = collector if collector is not None else ServiceCollector()
+        self._buffer: list[tuple] = []
+        self._lock = asyncio.Lock()
+        self._server = HttpServer(self.handle)
+        self._started = time.monotonic()
+        self._release_cache: Optional[tuple[int, bytes, str]] = None
+        self._previous_sink = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and start serving; installs the service obs sink."""
+        self._previous_sink = obs.set_global_sink(self.collector)
+        self._started = time.monotonic()
+        return await self._server.start(host, port)
+
+    async def stop(self) -> None:
+        await self._server.stop()
+        if self._previous_sink is not None:
+            obs.set_global_sink(self._previous_sink)
+            self._previous_sink = None
+
+    # -- routing ---------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        with obs.span(obs.SPAN_SERVE_REQUEST):
+            obs.incr(obs.SERVE_REQUESTS)
+            try:
+                return await self._route(request)
+            except HttpError as exc:
+                if exc.status >= 400:
+                    obs.incr(obs.SERVE_ERRORS)
+                raise
+            except Exception:
+                obs.incr(obs.SERVE_ERRORS)
+                raise
+
+    async def _route(self, request: Request) -> Response:
+        path, method = request.path.rstrip("/") or "/", request.method
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/metrics" and method == "GET":
+            return self._metrics()
+        if path == "/schema" and method == "GET":
+            return Response.json(schema_to_dict(self.engine.schema))
+        if path == "/releases" and method == "GET":
+            return self._releases()
+        if path == "/release" or path.startswith("/release/"):
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return self._release(request, path)
+        if path == "/ingest" and method == "POST":
+            return await self._ingest(request)
+        if path == "/flush" and method == "POST":
+            return await self._flush()
+        raise HttpError(404, f"no route for {method} {request.path}")
+
+    # -- read endpoints --------------------------------------------------------
+
+    def _healthz(self) -> Response:
+        head = self.engine.release
+        return Response.json({
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "sequence": head.sequence if head else None,
+            "pending": self.engine.pending_count,
+            "buffered": len(self._buffer),
+        })
+
+    def _releases(self) -> Response:
+        stamps = [
+            {
+                "sequence": s.sequence,
+                "mode": s.mode,
+                "size": s.size,
+                "admitted": s.admitted,
+                "extended": s.extended,
+                "recomputed": s.recomputed,
+                "pending": s.pending,
+                "stars": s.stars,
+            }
+            for s in self.engine.ledger.stamps
+        ]
+        head = self.engine.release
+        return Response.json({
+            "head": head.sequence if head else None,
+            "releases": stamps,
+        })
+
+    def _head_payload(self) -> tuple[int, bytes, str]:
+        """CSV bytes + strong ETag of the head release, cached per sequence."""
+        head = self.engine.release
+        if head is None:
+            raise HttpError(404, "no release published yet")
+        cached = self._release_cache
+        if cached is not None and cached[0] == head.sequence:
+            return cached
+        body = relation_to_csv_bytes(head.relation)
+        etag = '"' + hashlib.sha256(body).hexdigest() + '"'
+        self._release_cache = (head.sequence, body, etag)
+        return self._release_cache
+
+    def _release(self, request: Request, path: str) -> Response:
+        head = self.engine.release
+        if path.startswith("/release/"):
+            try:
+                wanted = int(path[len("/release/"):])
+            except ValueError:
+                raise HttpError(404, f"bad release sequence in {path!r}")
+            if head is None or wanted > head.sequence:
+                raise HttpError(404, f"release {wanted} does not exist")
+            if wanted != head.sequence:
+                stamp = next(
+                    (s for s in self.engine.ledger.stamps
+                     if s.sequence == wanted),
+                    None,
+                )
+                if stamp is None:
+                    raise HttpError(404, f"release {wanted} does not exist")
+                raise HttpError(
+                    410,
+                    f"release {wanted} ({stamp.mode}, {stamp.size} tuples) "
+                    f"was superseded; head is {head.sequence}",
+                )
+        sequence, body, etag = self._head_payload()
+        head = self.engine.release
+        headers = {
+            "ETag": etag,
+            "Cache-Control": "no-cache",
+            "X-Release-Sequence": str(sequence),
+            "X-Release-Mode": head.mode,
+        }
+        candidates = [
+            tag.strip()
+            for tag in request.headers.get("if-none-match", "").split(",")
+            if tag.strip()
+        ]
+        if etag in candidates or "*" in candidates:
+            obs.incr(obs.SERVE_RELEASE_NOT_MODIFIED)
+            return Response(status=304, headers=headers)
+        obs.incr(obs.SERVE_RELEASE_FETCHES)
+        return Response(
+            status=200, body=body,
+            content_type="text/csv; charset=utf-8", headers=headers,
+        )
+
+    def _metrics(self) -> Response:
+        lines = [
+            "# repro.serve metrics — repro.obs counter snapshot + service gauges",
+            f"repro_uptime_seconds {time.monotonic() - self._started:.3f}",
+        ]
+        head = self.engine.release
+        lines.append(f"repro_release_sequence {head.sequence if head else 0}")
+        lines.append(f"repro_pending_tuples {self.engine.pending_count}")
+        lines.append(f"repro_buffered_rows {len(self._buffer)}")
+        for name in sorted(self.collector.counters):
+            value = self.collector.counters[name]
+            lines.append(f'repro_events_total{{name="{name}"}} {value}')
+        for name in sorted(self.collector.hists):
+            hist = self.collector.hists[name]
+            lines.append(
+                f'repro_span_seconds_total{{name="{name}"}} {hist.total_s:.6f}'
+            )
+            lines.append(f'repro_span_count{{name="{name}"}} {hist.count}')
+        return Response.text("\n".join(lines) + "\n")
+
+    # -- write endpoints -------------------------------------------------------
+
+    def _coerce_rows(self, payload: Any) -> list[tuple]:
+        if not isinstance(payload, Mapping) or "rows" not in payload:
+            raise HttpError(400, 'body must be a JSON object with a "rows" list')
+        rows = payload["rows"]
+        if not isinstance(rows, Sequence) or isinstance(rows, (str, bytes)):
+            raise HttpError(400, '"rows" must be a list')
+        names = self.engine.schema.names
+        width = len(names)
+        coerced = []
+        for i, item in enumerate(rows):
+            if isinstance(item, Mapping):
+                try:
+                    coerced.append(tuple(item[n] for n in names))
+                except KeyError as exc:
+                    raise HttpError(400, f"rows[{i}] missing attribute {exc}")
+            elif isinstance(item, Sequence) and not isinstance(item, (str, bytes)):
+                if len(item) != width:
+                    raise HttpError(
+                        400,
+                        f"rows[{i}] has width {len(item)}, schema has {width}",
+                    )
+                coerced.append(tuple(item))
+            else:
+                raise HttpError(400, f"rows[{i}] must be a list or object")
+        return coerced
+
+    async def _ingest(self, request: Request) -> Response:
+        rows = self._coerce_rows(request.json())
+        obs.incr(obs.SERVE_INGESTED_ROWS, len(rows))
+        published = []
+        async with self._lock:
+            self._buffer.extend(rows)
+            while len(self._buffer) >= self.micro_batch:
+                batch = self._buffer[: self.micro_batch]
+                del self._buffer[: self.micro_batch]
+                release = await self._publish(self.engine.ingest, batch)
+                if release is not None:
+                    published.append(release.sequence)
+        return self._accepted(len(rows), published)
+
+    async def _flush(self) -> Response:
+        published = []
+        async with self._lock:
+            while self._buffer:
+                batch = self._buffer[: self.micro_batch]
+                del self._buffer[: self.micro_batch]
+                release = await self._publish(self.engine.ingest, batch)
+                if release is not None:
+                    published.append(release.sequence)
+            release = await self._publish(self.engine.flush)
+            if release is not None:
+                published.append(release.sequence)
+        return self._accepted(0, published)
+
+    async def _publish(self, call, *args):
+        """Run one engine call in a worker thread; write back on publish.
+
+        The engine raises on a force-flush of an infeasible stream — that
+        propagates as a 500 with the error message, matching the CLI's
+        behavior of surfacing the failure rather than serving stale data.
+        """
+        loop = asyncio.get_running_loop()
+        with obs.span(obs.SPAN_SERVE_PUBLISH):
+            release = await loop.run_in_executor(None, call, *args)
+            if release is not None:
+                obs.incr(obs.SERVE_PUBLISHES)
+                if self.release_backend is not None:
+                    await loop.run_in_executor(
+                        None,
+                        self.release_backend.write_release,
+                        release.relation,
+                        release.sequence,
+                    )
+        return release
+
+    def _accepted(self, accepted: int, published: list[int]) -> Response:
+        head = self.engine.release
+        return Response.json(
+            {
+                "accepted": accepted,
+                "buffered": len(self._buffer),
+                "published": published,
+                "sequence": head.sequence if head else None,
+                "pending": self.engine.pending_count,
+            },
+            status=202,
+        )
+
+    async def run_forever(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Start and serve until cancelled (the CLI entry point)."""
+        bound = await self.start(host, port)
+        print(f"repro serve listening on http://{host}:{bound}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await self.stop()

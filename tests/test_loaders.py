@@ -1,14 +1,34 @@
 """Unit tests for CSV persistence."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.data.loaders import (
+    iter_rows,
     load_relation,
+    relation_to_csv_bytes,
     save_relation,
     schema_from_dict,
     schema_to_dict,
 )
-from repro.data.relation import STAR, Schema
+from repro.data.relation import STAR, Attribute, AttributeKind, Schema
+
+attribute_dicts = st.lists(
+    st.builds(
+        dict,
+        name=st.text(
+            st.characters(categories=["L", "Nd"], include_characters="_"),
+            min_size=1,
+            max_size=8,
+        ),
+        kind=st.sampled_from([k.value for k in AttributeKind]),
+        numeric=st.booleans(),
+    ),
+    min_size=1,
+    max_size=6,
+    unique_by=lambda a: a["name"],
+)
 
 
 class TestSchemaSerialization:
@@ -16,11 +36,109 @@ class TestSchemaSerialization:
         schema = paper_relation.schema
         assert schema_from_dict(schema_to_dict(schema)) == schema
 
-    def test_malformed(self):
+    @given(attribute_dicts)
+    def test_round_trip_property(self, attrs):
+        schema = Schema(
+            [
+                Attribute(a["name"], AttributeKind(a["kind"]), a["numeric"])
+                for a in attrs
+            ]
+        )
+        recovered = schema_from_dict(schema_to_dict(schema))
+        assert recovered == schema
+        # Roles and numeric flags survive exactly, not just equality.
+        assert [a.kind for a in recovered] == [a.kind for a in schema]
+        assert [a.numeric for a in recovered] == [a.numeric for a in schema]
+
+    def test_numeric_vs_categorical_distinguished(self):
+        schema = Schema.from_names(
+            qi=["AGE", "CITY"], sensitive=["DIS"], numeric=["AGE"]
+        )
+        data = schema_to_dict(schema)
+        by_name = {a["name"]: a for a in data["attributes"]}
+        assert by_name["AGE"]["numeric"] is True
+        assert by_name["CITY"]["numeric"] is False
+        assert by_name["DIS"]["kind"] == "sensitive"
+        assert schema_from_dict(data) == schema
+
+    def test_missing_numeric_defaults_false(self):
+        schema = schema_from_dict(
+            {"attributes": [{"name": "A", "kind": "quasi"}]}
+        )
+        assert next(iter(schema)).numeric is False
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {},  # no attributes key at all
+            {"attributes": [{"no-name": True}]},
+            {"attributes": [{"name": "A"}]},  # kind is required
+            {"attributes": [{"name": "A", "kind": "bogus"}]},
+            {"attributes": None},
+        ],
+    )
+    def test_malformed(self, data):
         with pytest.raises(ValueError, match="malformed"):
-            schema_from_dict({"attributes": [{"no-name": True}]})
-        with pytest.raises(ValueError, match="malformed"):
-            schema_from_dict({"attributes": [{"name": "A", "kind": "bogus"}]})
+            schema_from_dict(data)
+
+
+class TestIterRows:
+    def test_chunks_cover_relation_in_order(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        chunks = list(iter_rows(path, batch_size=3))
+        assert all(len(chunk) <= 3 for chunk in chunks)
+        assert [pair for chunk in chunks for pair in chunk] == list(
+            paper_relation
+        )
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, 10_000])
+    def test_any_chunking_matches_load(self, paper_relation, tmp_path, batch_size):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        streamed = [
+            pair for chunk in iter_rows(path, batch_size) for pair in chunk
+        ]
+        assert streamed == list(load_relation(path))
+
+    def test_stars_and_numerics_restored_per_chunk(
+        self, paper_relation, tmp_path
+    ):
+        starred = paper_relation.suppress_values([(1, "AGE"), (2, "GEN")])
+        path = tmp_path / "r.csv"
+        save_relation(starred, path)
+        by_tid = {
+            tid: row
+            for chunk in iter_rows(path, batch_size=2)
+            for tid, row in chunk
+        }
+        age = starred.schema.position("AGE")
+        gen = starred.schema.position("GEN")
+        assert by_tid[1][age] is STAR
+        assert by_tid[2][gen] is STAR
+        assert isinstance(by_tid[3][age], int)
+
+    def test_header_validated_before_first_chunk(
+        self, paper_relation, tmp_path
+    ):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        wrong = Schema.from_names(qi=["X", "Y"])
+        with pytest.raises(ValueError, match="header"):
+            next(iter_rows(path, batch_size=2, schema=wrong))
+
+    def test_bad_batch_size(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        with pytest.raises(ValueError, match="batch_size"):
+            next(iter_rows(path, batch_size=0))
+
+
+class TestCsvBytes:
+    def test_bytes_match_saved_file(self, paper_relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_relation(paper_relation, path)
+        assert path.read_bytes() == relation_to_csv_bytes(paper_relation)
 
 
 class TestCsvRoundTrip:

@@ -431,6 +431,16 @@ class TestTaxonomy:
             "stream.recomputes_scoped",
             "stream.recomputes_full",
             "stream.releases_published",
+            "stream.scoped_deferred",
+            "io.rows_read",
+            "io.batches_fetched",
+            "io.releases_written",
+            "serve.requests",
+            "serve.errors",
+            "serve.ingested_rows",
+            "serve.publishes",
+            "serve.release_fetches",
+            "serve.release_not_modified",
             "parallel.components",
             "parallel.tasks_dispatched",
             "parallel.tasks_chunked",
@@ -466,6 +476,9 @@ class TestTaxonomy:
             "stream.publish",
             "stream.extend",
             "stream.recompute",
+            "io.load",
+            "serve.request",
+            "serve.publish",
             "parallel.schedule",
             "parallel.shm.export",
             "solver.approx.solve",

@@ -1,0 +1,343 @@
+"""Tests for the anonymization service (``repro.serve``).
+
+Handler-level coverage drives :meth:`AnonymizationService.handle` with
+constructed :class:`Request` objects inside a private event loop; one
+end-to-end test exercises the real socket path (keep-alive, ETag
+revalidation) over ``asyncio`` streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.data.loaders import schema_from_dict
+from repro.data.relation import Relation, Schema
+from repro.io import CsvBackend
+from repro.serve import AnonymizationService, Request, Response, ServiceCollector
+from repro.serve.http import _render
+from repro.serve.service import SPAN_RETENTION
+from repro.stream import StreamingAnonymizer
+
+pytestmark = pytest.mark.serve
+
+
+def make_schema() -> Schema:
+    return Schema.from_names(qi=["A", "B"], sensitive=["S"])
+
+
+ROWS = [
+    ("a1", "b1", "s1"),
+    ("a1", "b1", "s2"),
+    ("a2", "b2", "s1"),
+    ("a2", "b2", "s3"),
+]
+
+
+def make_service(**kwargs) -> AnonymizationService:
+    engine = StreamingAnonymizer(
+        make_schema(), ConstraintSet(), 2, bootstrap=4, solver="auto"
+    )
+    return AnonymizationService(engine, **kwargs)
+
+
+def request(method: str, path: str, payload=None, headers=None) -> Request:
+    body = json.dumps(payload).encode() if payload is not None else b""
+    return Request(
+        method=method,
+        path=path,
+        query={},
+        headers={k.lower(): v for k, v in (headers or {}).items()},
+        body=body,
+    )
+
+
+def drive(service: AnonymizationService, *requests: Request) -> list[Response]:
+    """Start the service, run the requests through the handler, stop it."""
+
+    async def _run() -> list[Response]:
+        await service.start()
+        try:
+            return [await service.handle(r) for r in requests]
+        finally:
+            await service.stop()
+
+    return asyncio.run(_run())
+
+
+class TestLifecycle:
+    def test_healthz_before_first_release(self):
+        (response,) = drive(make_service(), request("GET", "/healthz"))
+        payload = json.loads(response.body)
+        assert response.status == 200
+        assert payload["status"] == "ok"
+        assert payload["sequence"] is None
+        assert payload["buffered"] == 0
+
+    def test_sink_installed_and_restored(self):
+        service = make_service()
+
+        async def _run():
+            before = obs.active_sink()
+            await service.start()
+            installed = obs.active_sink()
+            await service.stop()
+            return before, installed, obs.active_sink()
+
+        before, installed, after = asyncio.run(_run())
+        assert installed is service.collector
+        assert after is before
+
+
+class TestIngest:
+    def test_small_ingest_buffers(self):
+        service = make_service(micro_batch=100)
+        ingest, health = drive(
+            service,
+            request("POST", "/ingest", {"rows": [list(r) for r in ROWS[:2]]}),
+            request("GET", "/healthz"),
+        )
+        payload = json.loads(ingest.body)
+        assert ingest.status == 202
+        assert payload == {
+            "accepted": 2,
+            "buffered": 2,
+            "published": [],
+            "sequence": None,
+            "pending": 0,
+        }
+        assert json.loads(health.body)["buffered"] == 2
+
+    def test_micro_batch_publishes(self):
+        service = make_service(micro_batch=4)
+        (response,) = drive(
+            service,
+            request("POST", "/ingest", {"rows": [list(r) for r in ROWS]}),
+        )
+        payload = json.loads(response.body)
+        assert payload["published"] == [1]
+        assert payload["sequence"] == 1
+        assert service.collector.counters[obs.SERVE_PUBLISHES] == 1
+        assert service.collector.counters[obs.SERVE_INGESTED_ROWS] == 4
+
+    def test_dict_rows(self):
+        service = make_service(micro_batch=4)
+        names = make_schema().names
+        rows = [dict(zip(names, r)) for r in ROWS]
+        (response,) = drive(service, request("POST", "/ingest", {"rows": rows}))
+        assert json.loads(response.body)["published"] == [1]
+
+    def test_flush_drains_buffer(self):
+        service = make_service(micro_batch=100)
+        _, flush = drive(
+            service,
+            request("POST", "/ingest", {"rows": [list(r) for r in ROWS]}),
+            request("POST", "/flush"),
+        )
+        assert json.loads(flush.body)["published"] == [1]
+        assert service.engine.pending_count == 0
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ({"rows": "nope"}, 400),
+            ({}, 400),
+            ({"rows": [["too", "short"]]}, 400),
+            ({"rows": [{"A": "a", "B": "b"}]}, 400),
+            ({"rows": [42]}, 400),
+        ],
+    )
+    def test_bad_rows_rejected(self, payload, match):
+        service = make_service()
+        with pytest.raises(Exception) as exc_info:
+            drive(service, request("POST", "/ingest", payload))
+        assert getattr(exc_info.value, "status", None) == match
+        assert service.collector.counters[obs.SERVE_ERRORS] == 1
+
+
+class TestReleases:
+    def publish(self, service):
+        return request("POST", "/ingest", {"rows": [list(r) for r in ROWS]})
+
+    def test_release_404_before_publish(self):
+        service = make_service()
+        with pytest.raises(Exception) as exc_info:
+            drive(service, request("GET", "/release"))
+        assert exc_info.value.status == 404
+
+    def test_release_etag_and_revalidation(self):
+        service = make_service(micro_batch=4)
+        _, full, *_ = drive(
+            service, self.publish(service), request("GET", "/release")
+        )
+        assert full.status == 200
+        etag = full.headers["ETag"]
+        assert etag.startswith('"') and etag.endswith('"')
+        assert full.headers["X-Release-Sequence"] == "1"
+        assert full.body.startswith(b"__tid__,A,B,S")
+
+        service2 = make_service(micro_batch=4)
+        _, fresh, not_modified, mismatched = drive(
+            service2,
+            self.publish(service2),
+            request("GET", "/release"),
+            request("GET", "/release", headers={"If-None-Match": etag}),
+            request("GET", "/release", headers={"If-None-Match": '"stale"'}),
+        )
+        assert fresh.headers["ETag"] == etag  # content-addressed: same body
+        assert not_modified.status == 304
+        assert mismatched.status == 200
+        counters = service2.collector.counters
+        assert counters[obs.SERVE_RELEASE_FETCHES] == 2
+        assert counters[obs.SERVE_RELEASE_NOT_MODIFIED] == 1
+
+    def test_sequence_addressing(self):
+        service = make_service(micro_batch=4)
+        more = [("a1", "b1", "s7"), ("a2", "b2", "s8"),
+                ("a3", "b3", "s1"), ("a3", "b3", "s2")]
+        _, _, head, listing = drive(
+            service,
+            self.publish(service),
+            request("POST", "/ingest", {"rows": [list(r) for r in more]}),
+            request("GET", "/release/2"),
+            request("GET", "/releases"),
+        )
+        assert head.status == 200
+        stamps = json.loads(listing.body)
+        assert stamps["head"] == 2
+        assert [s["sequence"] for s in stamps["releases"]] == [1, 2]
+        with pytest.raises(Exception) as exc_info:
+            drive(service, request("GET", "/release/99"))
+        assert exc_info.value.status == 404
+
+    def test_superseded_sequence_is_gone(self):
+        service = make_service(micro_batch=4)
+        more = [("a1", "b1", "s7"), ("a2", "b2", "s8"),
+                ("a3", "b3", "s1"), ("a3", "b3", "s2")]
+        with pytest.raises(Exception) as exc_info:
+            drive(
+                service,
+                self.publish(service),
+                request("POST", "/ingest", {"rows": [list(r) for r in more]}),
+                request("GET", "/release/1"),
+            )
+        assert exc_info.value.status == 410
+
+    def test_write_back_to_backend(self, tmp_path):
+        backend = CsvBackend(tmp_path / "data.csv", schema=make_schema())
+        service = make_service(micro_batch=4, release_backend=backend)
+        drive(service, self.publish(service))
+        assert (tmp_path / "data_release_0001.csv").exists()
+
+
+class TestIntrospection:
+    def test_schema_round_trips(self):
+        (response,) = drive(make_service(), request("GET", "/schema"))
+        assert schema_from_dict(json.loads(response.body)) == make_schema()
+
+    def test_metrics_exposition(self):
+        service = make_service(micro_batch=4)
+        *_, metrics = drive(
+            service,
+            request("POST", "/ingest", {"rows": [list(r) for r in ROWS]}),
+            request("GET", "/release"),
+            request("GET", "/metrics"),
+        )
+        text = metrics.body.decode()
+        assert 'repro_events_total{name="serve.requests"}' in text
+        assert 'repro_events_total{name="serve.publishes"} 1' in text
+        assert 'repro_events_total{name="serve.ingested_rows"} 4' in text
+        assert 'repro_events_total{name="stream.releases_published"} 1' in text
+        assert 'repro_span_count{name="serve.publish"} 1' in text
+        assert "repro_release_sequence 1" in text
+        assert "repro_uptime_seconds" in text
+
+    def test_unknown_route_and_bad_method(self):
+        with pytest.raises(Exception) as exc_info:
+            drive(make_service(), request("GET", "/nope"))
+        assert exc_info.value.status == 404
+        with pytest.raises(Exception) as exc_info:
+            drive(make_service(), request("DELETE", "/release"))
+        assert exc_info.value.status == 405
+
+
+class TestTransport:
+    def test_render_304_has_no_body(self):
+        raw = _render(
+            Response(status=304, body=b"should-vanish"), keep_alive=True
+        )
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b""
+        assert b"Content-Length: 0" in head
+
+    def test_render_derives_content_length(self):
+        raw = _render(Response.text("hello"), keep_alive=False)
+        assert b"Content-Length: 5" in raw
+        assert b"Connection: close" in raw
+        assert raw.endswith(b"hello")
+
+    def test_collector_caps_span_retention(self):
+        collector = ServiceCollector()
+        for _ in range(2 * SPAN_RETENTION + 10):
+            collector.emit_span(
+                obs.SpanEvent(name="serve.request", start=0.0, duration=0.001)
+            )
+        assert len(collector.spans) <= 2 * SPAN_RETENTION
+        # The histogram keeps the exact totals the span list no longer holds.
+        assert collector.hists["serve.request"].count == 2 * SPAN_RETENTION + 10
+
+    def test_end_to_end_over_socket(self):
+        service = make_service(micro_batch=4)
+
+        async def exchange(reader, writer, method, path, payload=None, extra=""):
+            body = json.dumps(payload).encode() if payload is not None else b""
+            writer.write(
+                (
+                    f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(body)}\r\n{extra}\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            lines = head.decode().split("\r\n")
+            status = int(lines[0].split(" ")[1])
+            headers = {}
+            for line in lines[1:]:
+                if ":" in line:
+                    name, _, value = line.partition(":")
+                    headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            data = await reader.readexactly(length) if length else b""
+            return status, headers, data
+
+        async def _run():
+            port = await service.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            # Same keep-alive connection end to end: ingest, fetch,
+            # revalidate.
+            status, _, body = await exchange(
+                reader, writer, "POST", "/ingest",
+                {"rows": [list(r) for r in ROWS]},
+            )
+            assert status == 202
+            assert json.loads(body)["published"] == [1]
+            status, headers, body = await exchange(
+                reader, writer, "GET", "/release"
+            )
+            assert status == 200 and body.startswith(b"__tid__,A,B,S")
+            etag = headers["etag"]
+            status, _, body = await exchange(
+                reader, writer, "GET", "/release",
+                extra=f"If-None-Match: {etag}\r\n",
+            )
+            assert status == 304 and body == b""
+            writer.close()
+            await writer.wait_closed()
+            await service.stop()
+
+        asyncio.run(_run())
