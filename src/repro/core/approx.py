@@ -60,6 +60,7 @@ from .coloring import (
 from .constraints import ConstraintSet
 from .graph import ConstraintGraph, build_graph
 from .index import get_index, vectorized_enabled
+from .searchstate import ContributionResolver
 from .suppress import normalize_clustering
 
 Clustering = tuple  # tuple[frozenset, ...]
@@ -145,6 +146,15 @@ class ApproxSolver:
         self._covered: set[int] = set()
         self._counts: dict[int, int] = {n.index: 0 for n in self.graph}
         self._contrib_cache: dict[frozenset, tuple[tuple[int, int], ...]] = {}
+        # On the vectorized backend, contribution records resolve through
+        # the same content-addressed memo the exact search's engine
+        # populates — an ``auto``-tier escalation therefore re-reads the
+        # warm-start clusters' records instead of recomputing them.
+        self._resolver = (
+            ContributionResolver(self._index, self.graph)
+            if self._index is not None
+            else None
+        )
 
     # -- contributions ---------------------------------------------------------
 
@@ -153,14 +163,19 @@ class ApproxSolver:
         cached = self._contrib_cache.get(cluster)
         if cached is not None:
             return cached
-        contribs = []
-        for node in self.graph:
-            if not any(a in self._qi for a in node.constraint.attrs):
-                continue  # fixed globally; a precheck concern, not ours
-            delta = preserved_count(self.relation, (cluster,), node.constraint)
-            if delta:
-                contribs.append((node.index, delta))
-        cached = tuple(contribs)
+        if self._resolver is not None:
+            cached = self._resolver.records([cluster])[0]
+        else:
+            contribs = []
+            for node in self.graph:
+                if not any(a in self._qi for a in node.constraint.attrs):
+                    continue  # fixed globally; a precheck concern, not ours
+                delta = preserved_count(
+                    self.relation, (cluster,), node.constraint
+                )
+                if delta:
+                    contribs.append((node.index, delta))
+            cached = tuple(contribs)
         self._contrib_cache[cluster] = cached
         return cached
 

@@ -27,7 +27,12 @@ Cluster contributions and the dynamic-candidate similarity orderings run on
 the shared columnar :class:`~repro.core.index.RelationIndex` (mask and
 uniformity reductions over integer code matrices) unless the reference
 kernel backend is active, in which case the retained pure-Python paths are
-used — see :mod:`repro.core.index`.
+used — see :mod:`repro.core.index`.  On the vectorized backend the whole
+incremental live state additionally moves into the columnar
+:class:`~repro.core.searchstate.SearchState` engine (counter arrays, a
+covered-row refcount vector, an interned cluster registry backed by the
+process-global contribution memo); the dict-based state below remains the
+reference semantics the engine must reproduce byte for byte.
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ from .constraints import ConstraintSet
 from .errors import ReproError
 from .graph import ConstraintGraph, build_graph
 from .index import get_index, vectorized_enabled
+from .searchstate import SearchState
 from .strategies import SelectionStrategy, make_strategy
 from .suppress import normalize_clustering
 
@@ -218,42 +224,58 @@ class ColoringSearch:
             self._qi_rows = None
         # Precompute each distinct cluster's contribution per constraint
         # (extended lazily for dynamically generated clusters).  On the
-        # vectorized backend this is batched: one memo-writing segment
-        # reduction per QI constraint over all distinct static clusters,
-        # instead of one preserved_count call per (cluster, σ) pair.
+        # vectorized backend the columnar search-state engine owns this:
+        # it interns every distinct static cluster through the process-
+        # global contribution memo with one memo-writing segment reduction
+        # per QI constraint, instead of one preserved_count call per
+        # (cluster, σ) pair, and keeps the live-assignment state as
+        # delta-updated arrays.
         self._contrib: dict[frozenset, tuple[tuple[int, int], ...]] = {}
-        distinct: list[frozenset] = []
-        for candidates in self._candidates.values():
-            for clustering in candidates:
-                for cluster in clustering:
-                    if cluster not in self._contrib:
-                        self._contrib[cluster] = ()
-                        distinct.append(cluster)
-        if self._index is not None and distinct:
-            qi = set(relation.schema.qi_names)
-            per_node = [
-                (
-                    node.index,
-                    self._index.preserved_count_batch(distinct, node.constraint),
-                )
-                for node in self.graph
-                if any(a in qi for a in node.constraint.attrs)
-            ]
-            for i, cluster in enumerate(distinct):
-                self._contrib[cluster] = tuple(
-                    (j, int(counts[i])) for j, counts in per_node if counts[i]
-                )
+        self._engine: Optional[SearchState] = None
+        if self._index is not None:
+            self._engine = SearchState(
+                self._index, self.graph, k, self._candidates
+            )
         else:
+            distinct: list[frozenset] = []
+            for candidates in self._candidates.values():
+                for clustering in candidates:
+                    for cluster in clustering:
+                        if cluster not in self._contrib:
+                            self._contrib[cluster] = ()
+                            distinct.append(cluster)
             for cluster in distinct:
                 self._contrib[cluster] = self._cluster_contributions(cluster)
-        # Live assignment state.
+        # Live assignment state (dicts on the reference backend; the engine
+        # keeps columnar twins and materializes the dict forms on attribute
+        # access — see ``__getattr__``).
         self._live_assignment: dict[int, Clustering] = {}
-        self._cluster_refs: dict[frozenset, int] = {}
-        self._covered: dict[int, int] = {}
-        self._counts: dict[int, int] = {n.index: 0 for n in self.graph}
-        self._uppers: dict[int, int] = {
-            n.index: n.constraint.upper for n in self.graph
-        }
+        if self._engine is None:
+            self._cluster_refs: dict[frozenset, int] = {}
+            self._covered: dict[int, int] = {}
+            self._counts: dict[int, int] = {n.index: 0 for n in self.graph}
+            self._uppers: dict[int, int] = {
+                n.index: n.constraint.upper for n in self.graph
+            }
+
+    def __getattr__(self, name: str):
+        # On the vectorized backend the engine's arrays are authoritative;
+        # the dict-shaped live state the reference backend stores directly
+        # is materialized on demand (tests and debugging tools read it —
+        # never the hot path).
+        engine = self.__dict__.get("_engine")
+        if engine is not None:
+            if name == "_counts":
+                return engine.counts_view()
+            if name == "_uppers":
+                return engine.uppers_view()
+            if name == "_cluster_refs":
+                return engine.cluster_refs_view()
+            if name == "_covered":
+                return engine.covered_view()
+        raise AttributeError(
+            f"{type(self).__name__} object has no attribute {name!r}"
+        )
 
     def _cluster_contributions(self, cluster: frozenset) -> tuple[tuple[int, int], ...]:
         """(node index, surviving-count delta) pairs for one cluster.
@@ -306,6 +328,8 @@ class ColoringSearch:
     def _consistent(self, candidate: Clustering) -> bool:
         """Incremental consistency against the live assignment state."""
         self.stats.consistency_checks += 1
+        if self._engine is not None:
+            return self._engine.consistent(candidate)
         deltas: dict[int, int] = {}
         for cluster in candidate:
             if cluster in self._cluster_refs:
@@ -323,6 +347,8 @@ class ColoringSearch:
     def _contributions(self, cluster: frozenset) -> tuple[tuple[int, int], ...]:
         """Cached per-constraint contributions, computed lazily for dynamic
         clusters that were not in the static candidate pools."""
+        if self._engine is not None:
+            return self._engine.contributions(cluster)
         cached = self._contrib.get(cluster)
         if cached is None:
             cached = self._cluster_contributions(cluster)
@@ -337,10 +363,21 @@ class ColoringSearch:
         the former ``assignment`` parameter was silently ignored, so it was
         dropped; the strategy callback contract is ``consistent_count(i)``
         (see :mod:`repro.core.strategies`).
+
+        On the engine path each candidate is a window check against the
+        live admission-counter arrays — the cluster delta arrays were
+        interned once, so nothing is re-derived per call.
         """
-        return sum(1 for c in self._candidates[index] if self._consistent(c))
+        candidates = self._candidates[index]
+        if self._engine is not None:
+            self.stats.consistency_checks += len(candidates)
+            return self._engine.consistent_count(candidates)
+        return sum(1 for c in candidates if self._consistent(c))
 
     def _apply(self, candidate: Clustering) -> None:
+        if self._engine is not None:
+            self._engine.apply(candidate)
+            return
         for cluster in candidate:
             refs = self._cluster_refs.get(cluster, 0)
             self._cluster_refs[cluster] = refs + 1
@@ -351,6 +388,9 @@ class ColoringSearch:
                     self._counts[j] += delta
 
     def _revert(self, candidate: Clustering) -> None:
+        if self._engine is not None:
+            self._engine.revert(candidate)
+            return
         for cluster in candidate:
             refs = self._cluster_refs[cluster] - 1
             if refs == 0:
@@ -408,15 +448,23 @@ class ColoringSearch:
         """
         if obs.enabled():
             stats = self.stats
-            obs.incr_many(
-                {
-                    obs.COLORING_NODES_EXPANDED: stats.nodes_expanded,
-                    obs.COLORING_CANDIDATES_TRIED: stats.candidates_tried,
-                    obs.COLORING_BACKTRACKS: stats.backtracks,
-                    obs.COLORING_CONSISTENCY_CHECKS: stats.consistency_checks,
-                    obs.COLORING_PRUNES: stats.prunes,
-                }
-            )
+            counters = {
+                obs.COLORING_NODES_EXPANDED: stats.nodes_expanded,
+                obs.COLORING_CANDIDATES_TRIED: stats.candidates_tried,
+                obs.COLORING_BACKTRACKS: stats.backtracks,
+                obs.COLORING_CONSISTENCY_CHECKS: stats.consistency_checks,
+                obs.COLORING_PRUNES: stats.prunes,
+            }
+            if self._engine is not None:
+                # Engine effort is deterministic for a given search
+                # trajectory (``batch_scored`` counts clusters *resolved*
+                # through the batched path, whether the memo or the kernel
+                # supplied the record), so pooled executors replaying
+                # worker snapshots stay byte-identical to sequential runs.
+                counters[obs.SEARCH_DELTA_APPLIES] = self._engine.delta_applies
+                counters[obs.SEARCH_DELTA_REVERTS] = self._engine.delta_reverts
+                counters[obs.SEARCH_BATCH_SCORED] = self._engine.batch_scored
+            obs.incr_many(counters)
 
     def _color(self, assignment: dict[int, Clustering], uncolored: set[int]) -> bool:
         if not uncolored:
@@ -460,6 +508,8 @@ class ColoringSearch:
         refinement that lets nested/overlapping constraints coordinate
         instead of colliding.
         """
+        if self._engine is not None:
+            return self._engine.dynamic_candidates(index)
         node = self.graph.node(index)
         sigma = node.constraint
         qi = set(self.relation.schema.qi_names)

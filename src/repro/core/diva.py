@@ -43,6 +43,7 @@ from .coloring import (
 )
 from .constraints import ConstraintSet, DiversityConstraint
 from .enumeration import get_enum_memo
+from .searchstate import get_contribution_memo
 from .errors import UnsatisfiableError
 from .index import get_index, vectorized_enabled
 from .integrate import IntegrationReport, integrate
@@ -221,9 +222,11 @@ class Diva:
         # so report this run's contribution as deltas.
         cache_before = None
         enum_before = None
+        search_before = None
         if obs.enabled() and vectorized_enabled():
             cache_before = dict(get_index(relation).cache_stats())
             enum_before = dict(get_enum_memo().stats())
+            search_before = dict(get_contribution_memo().stats())
 
         active = constraints
         dropped: list[DiversityConstraint] = []
@@ -317,6 +320,16 @@ class Diva:
                 run_counters[obs.ENUM_MEMO_MISSES] = (
                     enum_after["enum_memo_misses"]
                     - enum_before["enum_memo_misses"]
+                )
+            if search_before is not None:
+                search_after = get_contribution_memo().stats()
+                run_counters[obs.SEARCH_MEMO_HITS] = (
+                    search_after["search_memo_hits"]
+                    - search_before["search_memo_hits"]
+                )
+                run_counters[obs.SEARCH_MEMO_MISSES] = (
+                    search_after["search_memo_misses"]
+                    - search_before["search_memo_misses"]
                 )
             obs.incr_many(run_counters)
 

@@ -543,6 +543,29 @@ class RelationIndex:
         order = np.lexsort((arr, self.hamming_from(seed_tid, tids)))
         return arr[order].tolist()
 
+    def seed_rank_orders(
+        self, pool_rows: np.ndarray, seed_ranks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rank-space :meth:`rank_by_hamming` for several seeds at once.
+
+        ``pool_rows`` are the matrix rows of a pool sorted ascending by
+        tid; ``seed_ranks`` index seeds *within that pool*.  Returns the
+        pool's QI code block plus one ordering row per seed: all seed
+        distances in a single broadcasted Hamming gather, then one argsort
+        of the composite ``dist·n + rank`` key per row.  Pool ranks are
+        unique and < n, so the composite argsort is exactly the reference
+        ``lexsort((tids, dist))`` — rank ↔ tid is a monotone bijection on
+        a sorted pool.  Used by the search-state engine's dynamic
+        candidate expansion (:mod:`repro.core.searchstate`).
+        """
+        qi = self.qi_codes[pool_rows]
+        n = np.int64(qi.shape[0])
+        dist = (qi[seed_ranks][:, None, :] != qi[None, :, :]).sum(
+            axis=2, dtype=np.int64
+        )
+        ranks = np.arange(n, dtype=np.int64)
+        return qi, np.argsort(dist * n + ranks[None, :], axis=1)
+
     def pairwise_qi_hamming(self, tids: Sequence[int] | None = None) -> np.ndarray:
         """Full pairwise QI Hamming matrix over ``tids`` (default: all rows)."""
         block = (

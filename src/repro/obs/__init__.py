@@ -65,6 +65,11 @@ from .names import (  # noqa: F401
     SERVE_RELEASE_FETCHES,
     SERVE_RELEASE_NOT_MODIFIED,
     SERVE_REQUESTS,
+    SEARCH_BATCH_SCORED,
+    SEARCH_DELTA_APPLIES,
+    SEARCH_DELTA_REVERTS,
+    SEARCH_MEMO_HITS,
+    SEARCH_MEMO_MISSES,
     SPAN_ANONYMIZE,
     SPAN_COLORING_SEARCH,
     SPAN_DIVA_RUN,

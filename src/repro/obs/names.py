@@ -42,6 +42,23 @@ ENUM_DOMINATED_PRUNED = "enum.dominated_pruned"
 ENUM_MEMO_HITS = "enum.memo_hits"
 ENUM_MEMO_MISSES = "enum.memo_misses"
 
+#: Columnar search-state engine (:mod:`repro.core.searchstate`), vectorized
+#: backend only.  ``delta_applies``/``delta_reverts`` count first-ref /
+#: last-ref cluster transitions materialized as counter-array delta adds;
+#: ``batch_scored`` counts clusters whose contribution records were
+#: resolved through the batched memo-aware path (memo hit or kernel miss
+#: alike, so the tally is deterministic per search trajectory).  All three
+#: aggregate per search and flush with the coloring.* effort counters.
+SEARCH_DELTA_APPLIES = "search.delta_applies"
+SEARCH_DELTA_REVERTS = "search.delta_reverts"
+SEARCH_BATCH_SCORED = "search.batch_scored"
+
+#: Contribution memo (content-addressed, process-global — see
+#: :mod:`repro.core.searchstate`): cumulative tallies, emitted as deltas
+#: around each DIVA run, mirroring the ENUM_MEMO_* pattern.
+SEARCH_MEMO_HITS = "search.memo_hits"
+SEARCH_MEMO_MISSES = "search.memo_misses"
+
 #: Cells starred by the Suppress phase (RΣ), per DIVA run.
 SUPPRESS_CELLS_STARRED = "suppress.cells_starred"
 
@@ -151,6 +168,11 @@ ALL_COUNTERS = (
     ENUM_DOMINATED_PRUNED,
     ENUM_MEMO_HITS,
     ENUM_MEMO_MISSES,
+    SEARCH_DELTA_APPLIES,
+    SEARCH_DELTA_REVERTS,
+    SEARCH_BATCH_SCORED,
+    SEARCH_MEMO_HITS,
+    SEARCH_MEMO_MISSES,
     SUPPRESS_CELLS_STARRED,
     DIVA_CONSTRAINTS_DROPPED,
     KMEMBER_CLUSTERS,

@@ -42,6 +42,7 @@ from ..core.coloring import SearchBudgetExceeded
 from ..core.constraints import ConstraintSet
 from ..core.diva import Diva
 from ..core.enumeration import get_enum_memo
+from ..core.searchstate import get_contribution_memo
 from ..core.errors import UnsatisfiableError
 from ..core.index import vectorized_enabled
 from ..data.relation import Relation, Schema
@@ -70,6 +71,11 @@ class StreamStats:
     #: recomputes over recurring QI pools show up here as hits.
     enum_memo_hits: int = 0
     enum_memo_misses: int = 0
+    #: Same pattern for the search-state contribution memo: scoped and full
+    #: recomputes rebuild the relation each publish but cluster content
+    #: recurs, so contribution records resolve as hits here.
+    search_memo_hits: int = 0
+    search_memo_misses: int = 0
     #: Wall clock of every publish attempt (the ``stream.publish`` region),
     #: as a mergeable log-scale histogram — the per-batch latency profile a
     #: long-running stream reports without keeping per-batch samples.
@@ -399,15 +405,25 @@ class StreamingAnonymizer:
     def _memo_stats(self) -> Optional[dict[str, int]]:
         if not vectorized_enabled():
             return None
-        return dict(get_enum_memo().stats())
+        return dict(get_enum_memo().stats()) | dict(
+            get_contribution_memo().stats()
+        )
 
     def _record_memo_delta(self, before: Optional[dict[str, int]]) -> None:
         if before is None:
             return
-        after = get_enum_memo().stats()
+        after = dict(get_enum_memo().stats()) | dict(
+            get_contribution_memo().stats()
+        )
         self.stats.enum_memo_hits += after["enum_memo_hits"] - before["enum_memo_hits"]
         self.stats.enum_memo_misses += (
             after["enum_memo_misses"] - before["enum_memo_misses"]
+        )
+        self.stats.search_memo_hits += (
+            after["search_memo_hits"] - before["search_memo_hits"]
+        )
+        self.stats.search_memo_misses += (
+            after["search_memo_misses"] - before["search_memo_misses"]
         )
 
     def _after_publish(

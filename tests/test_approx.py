@@ -27,6 +27,7 @@ from repro.core.approx import (
     ApproxSolver,
     approx_clustering,
     approx_loss_bound,
+    escalate_from_budget,
 )
 from repro.core.clusterings import clustering_suppression_cost
 from repro.core.coloring import (
@@ -37,6 +38,7 @@ from repro.core.coloring import (
 )
 from repro.core.constraints import ConstraintSet, DiversityConstraint
 from repro.core.diva import Diva, run_diva
+from repro.core.index import use_kernel_backend
 from repro.core.suppress import suppress
 from repro.data.relation import Relation, Schema
 from repro.metrics.diversity_check import check_diversity
@@ -284,6 +286,63 @@ class TestWarmStart:
             diverse_clustering(
                 paper_relation, sigma, 2, max_steps=0, solver="auto"
             )
+
+
+class TestBackendFidelity:
+    """The budget-escalation pipeline is kernel-backend invariant.
+
+    The search-state engine (``repro.core.searchstate``) must not change a
+    byte of the ``SearchBudgetExceeded.partial`` payload — the warm start
+    the auto tier escalates from — nor of the escalated result itself.
+    """
+
+    def _exhaust_under(self, backend, relation, constraints, max_steps):
+        with use_kernel_backend(backend):
+            with pytest.raises(SearchBudgetExceeded) as excinfo:
+                diverse_clustering(
+                    relation, constraints, 2, max_steps=max_steps
+                )
+        return excinfo.value
+
+    @pytest.mark.parametrize("max_steps", [1, 3, 7])
+    def test_partial_payload_identical_across_backends(
+        self, paper_relation, paper_constraints, max_steps
+    ):
+        """Live-assignment snapshot + partial stats at exhaustion are the
+        same whether dict bookkeeping or counter arrays tracked them."""
+        ref = self._exhaust_under(
+            "reference", paper_relation, paper_constraints, max_steps
+        )
+        vec = self._exhaust_under(
+            "vectorized", paper_relation, paper_constraints, max_steps
+        )
+        assert vec.partial["assignment"] == ref.partial["assignment"]
+        assert (
+            vec.partial["stats"].as_dict() == ref.partial["stats"].as_dict()
+        )
+
+    def test_warm_started_escalation_identical_across_backends(
+        self, paper_relation, paper_constraints
+    ):
+        """``escalate_from_budget`` consumes the backend's own partial and
+        still lands on the identical escalated result."""
+        outcomes = {}
+        for backend in ("reference", "vectorized"):
+            exc = self._exhaust_under(
+                backend, paper_relation, paper_constraints, 1
+            )
+            with use_kernel_backend(backend):
+                result = escalate_from_budget(
+                    paper_relation, paper_constraints, 2, exc=exc
+                )
+            assert result is not None and result.success
+            outcomes[backend] = {
+                "assignment": result.assignment,
+                "clustering": result.clustering,
+                "satisfied": result.satisfied,
+                "stats": result.stats.as_dict(),
+            }
+        assert outcomes["vectorized"] == outcomes["reference"]
 
 
 class TestHeadlineAcceptance:

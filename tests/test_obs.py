@@ -420,6 +420,11 @@ class TestTaxonomy:
             "enum.dominated_pruned",
             "enum.memo_hits",
             "enum.memo_misses",
+            "search.delta_applies",
+            "search.delta_reverts",
+            "search.batch_scored",
+            "search.memo_hits",
+            "search.memo_misses",
             "suppress.cells_starred",
             "diva.constraints_dropped",
             "kmember.clusters",
