@@ -1,0 +1,90 @@
+"""Trace-context overhead gate: traced vs untraced pipeline runtime.
+
+Every span a traced request emits pays for an id allocation
+(``os.urandom``) and a contextvar swap on top of the base span cost.
+This benchmark runs the same census-shaped DIVA point with a collector
+sink twice — once under an installed :class:`~repro.obs.tracectx
+.TraceContext`, once untraced — and gates the ratio at **5%**: request
+tracing must stay cheap enough to leave on for every service request.
+Both sides take best-of-N to damp scheduler noise; the result lands in
+the registry and ``BENCH_trace.json``.
+
+Excluded from tier-1 runs by the ``bench`` marker; run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_trace_overhead.py -m bench -s -p no:cacheprovider
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.harness import run_diva_point
+from repro.bench.reporting import write_bench_artifact
+from repro.data.datasets import make_census
+from repro.obs import tracectx
+from repro.workloads.constraint_gen import proportion_constraints
+
+pytestmark = pytest.mark.bench
+
+N_ROWS = 2_000
+K = 5
+N_CONSTRAINTS = 6
+TRIALS = 3
+MAX_OVERHEAD = 0.05
+
+
+def test_trace_overhead_gate():
+    relation = make_census(seed=3, n_rows=N_ROWS)
+    sigma = proportion_constraints(relation, N_CONSTRAINTS, k=K, seed=3)
+
+    def timed(traced: bool) -> float:
+        best = float("inf")
+        for _ in range(TRIALS):
+            ctx = tracectx.new_trace() if traced else None
+            with tracectx.use_trace(ctx):
+                point = run_diva_point(
+                    relation, sigma, K, "maxfanout", seed=3, collect_obs=True
+                )
+            best = min(best, point.runtime)
+        return best
+
+    untraced = timed(False)
+    traced = timed(True)
+    overhead = traced / untraced - 1.0 if untraced else 0.0
+
+    # Sanity: the traced run actually stamped ids on its span stream.
+    with obs.collecting() as collector:
+        with tracectx.use_trace(tracectx.new_trace()):
+            run_diva_point(relation, sigma, K, "maxfanout", seed=3)
+    assert collector.spans, "expected spans from the traced run"
+    assert all(e.trace_id is not None for e in collector.spans)
+    assert all(e.span_id is not None for e in collector.spans)
+    span_count = len(collector.spans)
+
+    payload = {
+        "n_rows": N_ROWS,
+        "k": K,
+        "n_constraints": N_CONSTRAINTS,
+        "trials": TRIALS,
+        "untraced_runtime_s": round(untraced, 6),
+        "traced_runtime_s": round(traced, 6),
+        "trace_overhead": round(overhead, 4),
+        "spans_per_run": span_count,
+        "max_overhead": MAX_OVERHEAD,
+    }
+    record = write_bench_artifact(
+        "trace",
+        payload,
+        config={"n_rows": N_ROWS, "k": K, "n_constraints": N_CONSTRAINTS},
+        metrics={"traced_runtime_s": round(traced, 6)},
+    )
+    print(json.dumps(record, indent=2))
+
+    assert overhead < MAX_OVERHEAD, (
+        f"trace-context overhead {overhead:.1%} exceeds the "
+        f"{MAX_OVERHEAD:.0%} gate (untraced {untraced:.4f}s, "
+        f"traced {traced:.4f}s)"
+    )

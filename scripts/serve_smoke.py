@@ -4,12 +4,18 @@
 Spawns the real CLI service as a subprocess, drives it over plain HTTP
 (``urllib``), and asserts the full consumer contract:
 
-1. ingest two micro-batches of rows read from the source backend;
+1. ingest two micro-batches of rows read from the source backend — the
+   second carries a caller ``traceparent``;
 2. a release is published and served with a strong ETag;
 3. a conditional re-fetch with ``If-None-Match`` answers ``304`` with an
    empty body;
 4. ``/metrics`` exposes the ``serve.*`` event counters;
-5. the served release body, written back to disk next to its
+5. ``GET /trace/<trace_id>`` returns the traced ingest's span tree:
+   one ``serve.request`` root (parented on the caller's span) with a
+   ``stream.publish`` descendant linked by explicit ids, and
+   ``GET /timeseries`` serves at least one telemetry point
+   (``--trace-artifact`` saves the fetched tree as a JSON file);
+6. the served release body, written back to disk next to its
    ``/schema``-derived sidecar, passes ``repro check``.
 
 Usage::
@@ -38,6 +44,33 @@ from pathlib import Path
 from repro.io import open_backend
 
 LISTEN_RE = re.compile(r"listening on http://[^:]+:(\d+)")
+
+#: Fixed caller coordinates for the traced ingest, so the smoke can fetch
+#: the tree back by id and assert where the request root hangs.
+TRACE_ID = "ab" * 16
+CALLER_SPAN_ID = "cd" * 8
+CALLER_TRACEPARENT = f"00-{TRACE_ID}-{CALLER_SPAN_ID}-01"
+
+
+def find_span(node: dict, name: str):
+    """Depth-first search of a ``/trace`` tree for a span by name."""
+    if node["name"] == name:
+        return node
+    for child in node["children"]:
+        found = find_span(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def assert_ids_link(node: dict) -> None:
+    assert node["span_id"], f"span {node['name']} lacks an id"
+    for child in node["children"]:
+        assert child["parent_id"] == node["span_id"], (
+            f"span {child['name']} parent_id {child['parent_id']} != "
+            f"{node['name']} span_id {node['span_id']}"
+        )
+        assert_ids_link(child)
 
 
 def http(method: str, url: str, payload=None, headers=None):
@@ -82,6 +115,10 @@ def main() -> int:
     parser.add_argument("source", help="backend spec to serve (csv/sqlite/columnar)")
     parser.add_argument("-k", type=int, default=4)
     parser.add_argument("--micro-batch", type=int, default=50)
+    parser.add_argument(
+        "--trace-artifact", metavar="FILE",
+        help="write the fetched /trace/<id> span tree to this JSON file",
+    )
     args = parser.parse_args()
 
     rows = [list(row) for _tid, row in open_backend(args.source).load()]
@@ -114,16 +151,65 @@ def main() -> int:
         published = []
         for n in range(2):
             begin = n * args.micro_batch
-            status, _, body = http(
+            # The second batch rides under a caller trace, so its whole
+            # causal tree — request, publish hop, engine recompute — is
+            # fetchable at /trace/<id> afterwards.
+            extra = {"traceparent": CALLER_TRACEPARENT} if n == 1 else {}
+            status, headers, body = http(
                 "POST", f"{base}/ingest",
                 {"rows": rows[begin:begin + args.micro_batch]},
+                headers=extra,
             )
             payload = json.loads(body)
             assert status == 202, payload
             published.extend(payload["published"])
+            if n == 1:
+                echoed = {k.lower(): v for k, v in headers.items()}.get(
+                    "traceparent", ""
+                )
+                assert TRACE_ID in echoed, (
+                    f"ingest response traceparent {echoed!r} does not echo "
+                    f"the caller's trace id"
+                )
             print(f"smoke: batch {n + 1} -> published={payload['published']} "
                   f"sequence={payload['sequence']} pending={payload['pending']}")
         assert published, "two micro-batches published no release"
+
+        # -- the traced ingest's span tree, fetched back by id ----------
+        status, _, body = http("GET", f"{base}/trace/{TRACE_ID}")
+        assert status == 200
+        trace_payload = json.loads(body)
+        assert trace_payload["state"] == "completed", trace_payload
+        assert trace_payload["status"] == 202
+        roots = trace_payload["spans"]
+        assert len(roots) == 1, f"expected one request root, got {len(roots)}"
+        root = roots[0]
+        assert root["name"] == "serve.request"
+        assert root["parent_id"] == CALLER_SPAN_ID, (
+            "request root must hang under the caller's span"
+        )
+        assert_ids_link(root)
+        publish_span = find_span(root, "stream.publish")
+        assert publish_span is not None, (
+            "stream.publish missing from the traced request tree"
+        )
+        if args.trace_artifact:
+            Path(args.trace_artifact).write_text(
+                json.dumps(trace_payload, indent=2) + "\n"
+            )
+            print(f"smoke: trace tree saved to {args.trace_artifact}")
+        print(f"smoke: trace {TRACE_ID[:8]}… links request -> "
+              f"stream.publish across {trace_payload['root_span_id'][:8]}…")
+
+        # -- live telemetry: the timeseries ring serves points ----------
+        status, _, body = http("GET", f"{base}/timeseries")
+        assert status == 200
+        timeseries = json.loads(body)
+        assert timeseries["points"], "/timeseries served no points"
+        assert any(
+            point["counters"] for point in timeseries["points"]
+        ), "no timeseries point recorded a counter delta"
+        print(f"smoke: timeseries has {len(timeseries['points'])} point(s)")
 
         # -- release fetch with ETag, then conditional revalidation -----
         status, headers, release_body = http("GET", f"{base}/release")

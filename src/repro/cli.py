@@ -13,6 +13,9 @@ Commands:
   versioned release serving with ETags, ``/metrics``).
 * ``report`` — render one run: duration histograms, critical path, folded
   stacks and top counters from a JSONL trace (or a registry record).
+* ``trace`` — render one request's span tree: a stored ``/trace`` JSON
+  body, a JSONL trace, or a live service (``repro trace URL TRACE_ID``
+  fetches ``/trace/<id>``; without an id it lists ``/traces``).
 * ``compare`` — diff two runs (or a run against its registry baseline)
   and exit non-zero on a regression past the threshold.
 
@@ -348,6 +351,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine,
         micro_batch=args.micro_batch,
         release_backend=backend if args.write_releases else None,
+        slo_p99_s=args.slo_p99,
+        error_budget=args.error_budget,
     )
     if args.replay:
         rows = [row for _, row in backend.load()]
@@ -365,6 +370,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_error(message: str) -> int:
+    """Diagnostic + exit code 2 (bad input, distinct from regressions)."""
+    print(f"repro report: {message}", file=sys.stderr)
+    return 2
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render one run: histograms, critical path, folded stacks, counters.
 
@@ -372,18 +383,44 @@ def cmd_report(args: argparse.Namespace) -> int:
     in full, including tree reconstruction — or a registry record JSON,
     whose summarized ``obs`` block is rendered (a summary has no per-event
     data, so tree views are unavailable for records).
+
+    Exits 2 with a one-line diagnostic on a missing file, a trace with no
+    events (e.g. the instrumented run crashed before emitting), or a
+    truncated/corrupt file — a report pipeline should fail loudly, not
+    render an empty profile.
     """
     path = Path(args.input)
+    if not path.exists():
+        return _report_error(f"{path}: no such file")
     if path.suffix == ".jsonl":
-        analysis = obs.analyze(path)
+        try:
+            analysis = obs.analyze(path)
+        except (ValueError, KeyError) as exc:
+            # json.JSONDecodeError is a ValueError: a half-written final
+            # line (killed writer) or non-trace JSONL lands here.
+            return _report_error(f"{path}: truncated or corrupt trace ({exc})")
+        if not analysis.roots and not analysis.counters:
+            return _report_error(
+                f"{path}: trace has no spans or counters (empty or "
+                "instrumentation was disabled for the run)"
+            )
         print(f"trace: {path}")
         print(obs.render_analysis(analysis, top_counters=args.top))
         return 0
-    record = obs.load_run(path)
-    print(
-        f"run: {record['run_id']} ({record['kind']}) "
-        f"at {record['created_at']} git={record.get('git_sha') or '?'}"
-    )
+    try:
+        record = obs.load_run(path)
+    except ValueError as exc:
+        return _report_error(f"{path}: not a run record ({exc})")
+    try:
+        header = (
+            f"run: {record['run_id']} ({record['kind']}) "
+            f"at {record['created_at']} git={record.get('git_sha') or '?'}"
+        )
+    except (KeyError, TypeError):
+        return _report_error(
+            f"{path}: not a run record (missing run_id/kind/created_at)"
+        )
+    print(header)
     for section in ("config", "metrics"):
         entries = record.get(section) or {}
         if entries:
@@ -396,6 +433,111 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print("(record carries no obs block; critical path needs a .jsonl trace)")
     return 0
+
+
+def _trace_error(message: str) -> int:
+    print(f"repro trace: {message}", file=sys.stderr)
+    return 2
+
+
+def _render_trace_payload(payload: dict, args: argparse.Namespace) -> int:
+    """Render one ``/trace`` JSON body (fetched or stored)."""
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        return _trace_error("payload has no 'spans' list (not a /trace body?)")
+    header = "trace: " + str(payload.get("trace_id", "?"))
+    meta = [
+        f"{key}={payload[key]}"
+        for key in ("state", "method", "path", "status", "wall_s")
+        if key in payload
+    ]
+    if meta:
+        header += " (" + ", ".join(meta) + ")"
+    print(header)
+    if not spans:
+        return _trace_error("trace has no spans (still open, or evicted)")
+    roots = obs.forest_from_payload(spans)
+    analysis = obs.analyze_forest(roots)
+    print(obs.render_analysis(analysis, top_counters=args.top))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render a request's span tree from a service or a stored artifact.
+
+    ``source`` is one of:
+
+    * ``http(s)://host:port`` — fetch ``GET /trace/<trace_id>`` from a
+      running service (``trace_id`` required), or list ``GET /traces``
+      when no id is given;
+    * a ``.json`` file holding a stored ``/trace`` body (the serve-smoke
+      artifact, or a saved ``curl`` response);
+    * a ``.jsonl`` trace — analyzed like ``repro report``, id-linked.
+
+    Exits 2 on fetch/parse failures or an unknown trace id.
+    """
+    import json
+
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        import urllib.error
+        import urllib.request
+
+        base = source.rstrip("/")
+        url = (
+            f"{base}/trace/{args.trace_id}" if args.trace_id
+            else f"{base}/traces"
+        )
+        try:
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                payload = json.load(resp)
+        except urllib.error.HTTPError as exc:
+            return _trace_error(f"{url}: HTTP {exc.code} {exc.reason}")
+        except (urllib.error.URLError, OSError) as exc:
+            return _trace_error(f"{url}: {exc}")
+        except ValueError as exc:
+            return _trace_error(f"{url}: invalid JSON ({exc})")
+        if args.trace_id:
+            return _render_trace_payload(payload, args)
+        completed = payload.get("traces", [])
+        print(f"completed traces ({len(completed)}, newest first):")
+        for entry in completed:
+            line = "  " + str(entry.get("trace_id", "?"))
+            meta = [
+                f"{key}={entry[key]}"
+                for key in ("method", "path", "status", "wall_s", "spans")
+                if key in entry
+            ]
+            if meta:
+                line += "  " + " ".join(meta)
+            print(line)
+        open_ids = payload.get("open", [])
+        if open_ids:
+            print(f"open traces ({len(open_ids)}):")
+            for trace_id in open_ids:
+                print(f"  {trace_id}")
+        return 0
+    path = Path(source)
+    if not path.exists():
+        return _trace_error(f"{path}: no such file")
+    if path.suffix == ".jsonl":
+        try:
+            analysis = obs.analyze(path)
+        except (ValueError, KeyError) as exc:
+            return _trace_error(f"{path}: truncated or corrupt trace ({exc})")
+        if not analysis.roots and not analysis.counters:
+            return _trace_error(f"{path}: trace has no spans or counters")
+        print(f"trace: {path}")
+        print(obs.render_analysis(analysis, top_counters=args.top))
+        return 0
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except ValueError as exc:
+        return _trace_error(f"{path}: invalid JSON ({exc})")
+    if not isinstance(payload, dict):
+        return _trace_error(f"{path}: expected a /trace JSON object")
+    return _render_trace_payload(payload, args)
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -674,6 +816,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", default="thread", choices=["thread", "process"],
         help="pool flavor for --workers",
     )
+    p.add_argument(
+        "--slo-p99", type=float, default=0.5,
+        help="ingest-to-publish p99 latency objective in seconds; /healthz "
+        "degrades when observed p99 exceeds it (default %(default)s)",
+    )
+    p.add_argument(
+        "--error-budget", type=float, default=0.01,
+        help="tolerated request error rate; /healthz degrades when burn "
+        "exceeds 1.0 (default %(default)s)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -687,6 +839,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="counters/stacks rows to show (default 20)",
     )
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "trace",
+        help="render one request's span tree from a live service "
+        "(/trace/<id>), a stored /trace JSON body, or a JSONL trace",
+    )
+    p.add_argument(
+        "source",
+        help="service base URL (http://host:port), a stored /trace .json, "
+        "or a trace .jsonl",
+    )
+    p.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id to fetch from a service URL (omit to list /traces)",
+    )
+    p.add_argument(
+        "--top", type=int, default=20,
+        help="counters/stacks rows to show (default 20)",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "compare",

@@ -63,6 +63,7 @@ from typing import Optional, Union
 import numpy as np
 
 from .. import obs
+from ..obs import tracectx
 from ..data.relation import Relation
 from . import costmodel
 from .coloring import (
@@ -191,6 +192,7 @@ def _solve_chunk(
     collect: bool,
     solver: str = "exact",
     relation: Optional[Relation] = None,
+    trace: Optional[tracectx.TraceContext] = None,
 ) -> tuple[list[tuple[int, ColoringResult, Optional[dict]]], int]:
     """Solve a batch of components in one task.
 
@@ -202,19 +204,28 @@ def _solve_chunk(
     component's observed wall clock, which feeds the adaptive cost model
     — plus the worker's attach time, reported exactly once per worker
     process.
+
+    ``trace`` is the parent's :class:`~repro.obs.tracectx.TraceContext`
+    captured inside its ``parallel.schedule`` span.  Contextvars do not
+    cross pool boundaries, so it travels in the task payload and is
+    reinstalled here — every span this task's components emit then carries
+    explicit ids naming the scheduling span as parent, which is what lets
+    the trace-tree reconstruction stitch worker spans under the request
+    instead of guessing from nesting depths.
     """
     if relation is None:
         relation = _WORKER["relation"]
     attach_ns = _WORKER.pop("attach_ns", 0)
     out = []
-    for order, subset, seed_seq in chunk:
-        started = perf_counter()
-        result, snapshot = _solve_component(
-            subset, seed_seq, relation, k, strategy, max_candidates,
-            max_steps, collect, solver,
-        )
-        wall_ns = int((perf_counter() - started) * 1e9)
-        out.append((order, result, snapshot, wall_ns))
+    with tracectx.use_trace(trace):
+        for order, subset, seed_seq in chunk:
+            started = perf_counter()
+            result, snapshot = _solve_component(
+                subset, seed_seq, relation, k, strategy, max_candidates,
+                max_steps, collect, solver,
+            )
+            wall_ns = int((perf_counter() - started) * 1e9)
+            out.append((order, result, snapshot, wall_ns))
     return out, attach_ns
 
 
@@ -372,10 +383,22 @@ def component_coloring(
         for component in components
     ]
     chunks = _build_chunks(tasks, costs, max_workers)
-    with obs.span(obs.SPAN_PARALLEL_SCHEDULE):
+    with obs.span(obs.SPAN_PARALLEL_SCHEDULE) as schedule:
         pairs, walls, telemetry = _run_pool(
             chunks, relation, k, strategy, max_candidates, max_steps,
             collect, max_workers, executor, solver,
+        )
+        # Replay worker snapshots while the scheduling span is still open,
+        # rebased under it: worker streams record their spans from depth 0,
+        # so without the rebase each pooled task's roots surface as extra
+        # top-level trees in the reconstructed forest.  Sequential runs
+        # replay in-thread (below) with depths already correct and skip it.
+        result = _merge(
+            components,
+            pairs,
+            rebase=(schedule.depth + 1, obs.SPAN_PARALLEL_SCHEDULE)
+            if collect
+            else None,
         )
     telemetry[obs.PARALLEL_COMPONENTS] = len(components)
     telemetry[obs.PARALLEL_TASKS_DISPATCHED] = len(chunks)
@@ -387,7 +410,6 @@ def component_coloring(
         for order, wall_ns in walls.items():
             model.observe(dataset_key, features[order], wall_ns)
         model.save()
-    result = _merge(components, pairs)
     # Telemetry last, after the component-ordered snapshot replay, and only
     # for pooled runs: sequential counter streams stay byte-identical.
     obs.incr_many(telemetry)
@@ -426,6 +448,10 @@ def _run_pool(
         max_steps=max_steps,
         collect=collect,
         solver=solver,
+        # Captured inside the caller's ``parallel.schedule`` span, so every
+        # worker span links to it by explicit parent id (picklable; None
+        # when the run is untraced).
+        trace=tracectx.current(),
     )
     if executor == "process":
         if shm_available():
@@ -489,6 +515,7 @@ def _run_pool(
 def _merge(
     components: list[list[int]],
     pairs: dict[int, tuple[ColoringResult, Optional[dict]]],
+    rebase: Optional[tuple[int, str]] = None,
 ) -> ColoringResult:
     """Join per-component results in component order.
 
@@ -497,7 +524,13 @@ def _merge(
     byte-identical to a sequential run's.  On failure the merge stops at
     the first failing component (later components may or may not have
     completed; their effort is not reported).
+
+    ``rebase=(depth_offset, parent_name)`` re-anchors replayed worker
+    streams under the scheduling span (pooled runs only): the sequential
+    path records its snapshots on the caller's own span stack, so its
+    depths are already correct and it passes None.
     """
+    depth_offset, root_parent = rebase if rebase is not None else (0, None)
     merged_stats = SearchStats()
     merged_assignment: dict[int, tuple] = {}
     clusters: list = []
@@ -509,7 +542,9 @@ def _merge(
             return ColoringResult(False, stats=merged_stats)
         result, snapshot = entry
         if snapshot is not None:
-            obs.emit_snapshot(snapshot)
+            obs.emit_snapshot(
+                snapshot, depth_offset=depth_offset, root_parent=root_parent
+            )
         merged_stats += result.stats
         if not result.success:
             return ColoringResult(False, stats=merged_stats)

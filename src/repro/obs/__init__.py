@@ -65,6 +65,8 @@ from .names import (  # noqa: F401
     SERVE_RELEASE_FETCHES,
     SERVE_RELEASE_NOT_MODIFIED,
     SERVE_REQUESTS,
+    SERVE_TRACES_COMPLETED,
+    SERVE_TRACES_EVICTED,
     SEARCH_BATCH_SCORED,
     SEARCH_DELTA_APPLIES,
     SEARCH_DELTA_REVERTS,
@@ -107,13 +109,17 @@ from .names import (  # noqa: F401
     STREAM_TUPLES_RECOMPUTED,
     SUPPRESS_CELLS_STARRED,
 )
+from . import tracectx  # noqa: F401
 from .analyze import (  # noqa: F401
     SpanNode,
     TraceAnalysis,
     analyze,
+    analyze_forest,
     build_forest,
     critical_path,
     folded_stacks,
+    forest_from_payload,
+    forest_payload,
     render_analysis,
 )
 from .hist import Histogram
@@ -139,6 +145,13 @@ from .runtime import (
     use_sink,
 )
 from .sinks import NULL, Collector, JsonlSink, NullSink, Sink, SpanEvent, TeeSink, replay
+from .tracectx import (  # noqa: F401
+    TraceContext,
+    new_trace,
+    parse_traceparent,
+    use_trace,
+)
+from .tracectx import current as current_trace  # noqa: F401
 
 __all__ = [
     # runtime
@@ -168,10 +181,20 @@ __all__ = [
     "SpanNode",
     "TraceAnalysis",
     "analyze",
+    "analyze_forest",
     "build_forest",
     "critical_path",
     "folded_stacks",
+    "forest_from_payload",
+    "forest_payload",
     "render_analysis",
+    # tracing
+    "tracectx",
+    "TraceContext",
+    "current_trace",
+    "new_trace",
+    "parse_traceparent",
+    "use_trace",
     # registry
     "RunRegistry",
     "Comparison",

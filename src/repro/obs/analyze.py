@@ -45,6 +45,10 @@ class SpanNode:
     depth: int = 0
     parent: Optional[str] = None
     children: list["SpanNode"] = field(default_factory=list)
+    #: Explicit trace coordinates (None on id-less traces).  When present,
+    #: :func:`build_forest` links by id instead of the nesting heuristic.
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     @property
     def child_time(self) -> float:
@@ -65,17 +69,39 @@ class SpanNode:
 def build_forest(events: Iterable[Union[SpanEvent, dict]]) -> list[SpanNode]:
     """Reconstruct the span forest from close-ordered span events.
 
-    Events deeper than a closing span that do not name it as parent (or
-    skip a depth level) come from a different emitting context — a pool
-    worker's replayed snapshot — and are kept as separate roots rather
-    than mis-attached.
+    Two linking strategies, chosen per event:
+
+    * events carrying a ``span_id`` (traced runs) link **explicitly**: a
+      span closes after every child it dispatched — in-thread (LIFO
+      nesting), across ``run_in_executor`` hops (awaited inside the span)
+      and across pool workers (snapshots replay before the scheduling span
+      closes) alike — so when an id-carrying span closes it claims every
+      earlier event naming it as ``parent_id``, regardless of recorded
+      depth or emitting process.  Ids whose parent never closes in the
+      stream become roots.
+    * id-less events fall back to the original nesting heuristic: within
+      one emitting thread spans close LIFO, so when a span at depth ``d``
+      closes, the not-yet-claimed spans at depth ``d+1`` naming it as
+      parent belong under it.  Events deeper than a closing span that do
+      not match (or skip a depth level) come from a different emitting
+      context — a pool worker's replayed snapshot — and are kept as
+      separate roots rather than mis-attached.
     """
-    pending: list[SpanNode] = []  # closed, not yet claimed by a parent
+    pending: list[SpanNode] = []  # id-less, closed, not yet claimed
     roots: list[SpanNode] = []
+    #: id-carrying nodes awaiting their parent's close, keyed by parent id.
+    orphans: dict[str, list[SpanNode]] = {}
+    id_roots: list[SpanNode] = []
     for event in events:
         if isinstance(event, SpanEvent):
             node = SpanNode(
-                event.name, event.start, event.duration, event.depth, event.parent
+                event.name,
+                event.start,
+                event.duration,
+                event.depth,
+                event.parent,
+                span_id=event.span_id,
+                parent_id=event.parent_id,
             )
         else:
             node = SpanNode(
@@ -84,7 +110,18 @@ def build_forest(events: Iterable[Union[SpanEvent, dict]]) -> list[SpanNode]:
                 event["duration"],
                 event.get("depth", 0),
                 event.get("parent"),
+                span_id=event.get("span_id"),
+                parent_id=event.get("parent_id"),
             )
+        if node.span_id is not None:
+            # Children closed (and registered) before us; close order equals
+            # dispatch order among siblings of one thread, so keep it.
+            node.children = orphans.pop(node.span_id, [])
+            if node.parent_id is not None:
+                orphans.setdefault(node.parent_id, []).append(node)
+            else:
+                id_roots.append(node)
+            continue
         children: list[SpanNode] = []
         while pending and pending[-1].depth > node.depth:
             candidate = pending.pop()
@@ -94,8 +131,30 @@ def build_forest(events: Iterable[Union[SpanEvent, dict]]) -> list[SpanNode]:
                 roots.append(candidate)
         node.children = children[::-1]  # back to emission (≈ start) order
         pending.append(node)
+    roots.extend(id_roots)
+    # Unclaimed id nodes: their parent closed outside this trace slice
+    # (e.g. a per-request slice cut below the caller) — promote to roots.
+    for stranded in orphans.values():
+        roots.extend(stranded)
     roots.extend(pending)
+    _renumber_depths(roots)
     return roots
+
+
+def _renumber_depths(roots: list[SpanNode]) -> None:
+    """Make ``depth`` consistent with tree position.
+
+    Id-linked nodes keep the depth their emitting context recorded (a pool
+    worker starts at 0), which no longer matches their reconstructed
+    position; renumbering from the roots keeps indentation and folded
+    stacks honest for both linking strategies.
+    """
+    stack = [(root, 0) for root in roots]
+    while stack:
+        node, depth = stack.pop()
+        node.depth = depth
+        for child in node.children:
+            stack.append((child, depth + 1))
 
 
 def critical_path(root: SpanNode) -> tuple[list[SpanNode], float]:
@@ -153,6 +212,81 @@ def analyze(source: Union[Collector, str, Path]) -> TraceAnalysis:
             if hist is None:
                 hist = self_times[node.name] = Histogram()
             hist.record(node.self_time)
+    return TraceAnalysis(
+        roots=roots,
+        counters=dict(collector.counters),
+        summary=summarize(collector),
+        self_times=self_times,
+    )
+
+
+def forest_payload(roots: list[SpanNode]) -> list[dict]:
+    """Serialize a span forest as nested JSON dicts (the ``/trace`` body)."""
+
+    def encode(node: SpanNode) -> dict:
+        return {
+            "name": node.name,
+            "start": node.start,
+            "duration_s": node.duration,
+            "self_s": node.self_time,
+            "depth": node.depth,
+            "span_id": node.span_id,
+            "parent_id": node.parent_id,
+            "children": [encode(child) for child in node.children],
+        }
+
+    return [encode(root) for root in roots]
+
+
+def forest_from_payload(payload: list[dict]) -> list[SpanNode]:
+    """Rebuild :class:`SpanNode` trees from a :func:`forest_payload` body."""
+
+    def decode(item: dict, depth: int) -> SpanNode:
+        node = SpanNode(
+            name=item["name"],
+            start=item.get("start", 0.0),
+            duration=item.get("duration_s", item.get("duration", 0.0)),
+            depth=depth,
+            span_id=item.get("span_id"),
+            parent_id=item.get("parent_id"),
+        )
+        node.children = [decode(c, depth + 1) for c in item.get("children", ())]
+        return node
+
+    return [decode(item, 0) for item in payload]
+
+
+def analyze_forest(
+    roots: list[SpanNode], counters: Optional[dict] = None
+) -> TraceAnalysis:
+    """A :class:`TraceAnalysis` over an already-reconstructed forest.
+
+    ``repro trace`` renders stored/fetched ``/trace`` trees through this:
+    the summary's per-span duration histograms and the self-time view are
+    both recomputed from the tree, so the one report renderer serves JSONL
+    traces and span-tree payloads alike.
+    """
+    collector = Collector()
+    self_times: dict[str, Histogram] = {}
+    for root in roots:
+        for node in root.walk():
+            collector.emit_span(
+                SpanEvent(
+                    name=node.name,
+                    start=node.start,
+                    duration=node.duration,
+                    depth=node.depth,
+                    parent=node.parent,
+                    span_id=node.span_id,
+                    parent_id=node.parent_id,
+                )
+            )
+            hist = self_times.get(node.name)
+            if hist is None:
+                hist = self_times[node.name] = Histogram()
+            hist.record(node.self_time)
+    for name, value in (counters or {}).items():
+        collector.emit_count(name, value)
     return TraceAnalysis(
         roots=roots,
         counters=dict(collector.counters),

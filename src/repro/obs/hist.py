@@ -115,6 +115,26 @@ class Histogram:
         """Estimated q-quantile in seconds."""
         return self.percentile_ns(q) / 1e9
 
+    def cumulative_ns(self) -> list[tuple[int, int]]:
+        """Cumulative bucket counts as ``(upper_edge_ns, count_le_edge)``.
+
+        The Prometheus-exposition view of the log2 buckets: entries run
+        from the first bucket through the last non-empty one, each pairing
+        a bucket's inclusive upper edge (``2**i - 1`` ns — the largest
+        value bucket ``i`` holds) with the number of observations at or
+        below it.  Monotone non-decreasing by construction; the final
+        count equals :attr:`count`.  Empty histograms yield no entries.
+        """
+        edges: list[tuple[int, int]] = []
+        cumulative = 0
+        last = max(
+            (i for i, tally in enumerate(self.buckets) if tally), default=-1
+        )
+        for index in range(last + 1):
+            cumulative += self.buckets[index]
+            edges.append(((1 << index) - 1, cumulative))
+        return edges
+
     def summary(self) -> dict:
         """JSON-ready stats block: count/total/mean/percentiles/max."""
         block = {

@@ -136,6 +136,13 @@ SERVE_PUBLISHES = "serve.publishes"
 SERVE_RELEASE_FETCHES = "serve.release_fetches"
 SERVE_RELEASE_NOT_MODIFIED = "serve.release_not_modified"
 
+#: Anonymization service tracing: per-request span trees completed into
+#: the bounded trace ring, and trees evicted from it (completed trees
+#: displaced by newer ones, or open trees displaced by the in-flight cap —
+#: a steady non-zero eviction rate just means the ring is doing its job).
+SERVE_TRACES_COMPLETED = "serve.traces_completed"
+SERVE_TRACES_EVICTED = "serve.traces_evicted"
+
 #: Solver tier (``solver=`` axis): exact→approx escalations taken when the
 #: ``auto`` tier catches a budget-exhausted exact search (one per
 #: escalation — monolithic runs emit at most one, per-component pooled
@@ -194,6 +201,8 @@ ALL_COUNTERS = (
     SERVE_PUBLISHES,
     SERVE_RELEASE_FETCHES,
     SERVE_RELEASE_NOT_MODIFIED,
+    SERVE_TRACES_COMPLETED,
+    SERVE_TRACES_EVICTED,
     PARALLEL_COMPONENTS,
     PARALLEL_TASKS_DISPATCHED,
     PARALLEL_TASKS_CHUNKED,

@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Callable, Iterator, Mapping, Optional
 
+from . import tracectx
 from .sinks import NULL, Collector, Sink, SpanEvent
 
 
@@ -89,11 +90,32 @@ class span:
     and parent names come from a per-thread span stack.
     """
 
-    __slots__ = ("name", "duration", "_sink", "_start", "_depth", "_parent")
+    __slots__ = (
+        "name",
+        "duration",
+        "span_id",
+        "trace_id",
+        "_sink",
+        "_start",
+        "_depth",
+        "_parent",
+        "_parent_id",
+        "_token",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.duration: Optional[float] = None
+        #: Trace coordinates of this span, assigned on ``__enter__`` when a
+        #: sink *and* a :mod:`repro.obs.tracectx` context are active (the
+        #: service reads ``span_id`` back for its response header).
+        self.span_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth at entry (0 when no sink was active)."""
+        return getattr(self, "_depth", 0)
 
     def __enter__(self) -> "span":
         sink = active_sink()
@@ -105,6 +127,16 @@ class span:
             self._depth = len(stack)
             self._parent = stack[-1] if stack else None
             stack.append(self.name)
+            ctx = tracectx.current()
+            if ctx is None:
+                self._parent_id = None
+                self._token = None
+            else:
+                child = ctx.child()
+                self.trace_id = child.trace_id
+                self.span_id = child.span_id
+                self._parent_id = ctx.span_id
+                self._token = tracectx._CURRENT.set(child)
         self._start = perf_counter()
         return self
 
@@ -112,6 +144,8 @@ class span:
         self.duration = perf_counter() - self._start
         if self._sink is not None:
             _LOCAL.stack.pop()
+            if self._token is not None:
+                tracectx._CURRENT.reset(self._token)
             self._sink.emit_span(
                 SpanEvent(
                     name=self.name,
@@ -119,6 +153,9 @@ class span:
                     duration=self.duration,
                     depth=self._depth,
                     parent=self._parent,
+                    trace_id=self.trace_id,
+                    span_id=self.span_id,
+                    parent_id=self._parent_id,
                 )
             )
             self._sink = None
@@ -157,17 +194,38 @@ def collecting() -> Iterator[Collector]:
         yield collector
 
 
-def emit_snapshot(snapshot: dict, sink: Optional[Sink] = None) -> None:
+def emit_snapshot(
+    snapshot: dict,
+    sink: Optional[Sink] = None,
+    *,
+    depth_offset: int = 0,
+    root_parent: Optional[str] = None,
+) -> None:
     """Replay a :meth:`Collector.snapshot` into ``sink`` (default: active).
 
     This is the join side of the per-worker collection protocol: workers
     return snapshots (picklable dicts), the parent replays them into its
     own sink so counters add up exactly as in a sequential run.
+
+    ``depth_offset``/``root_parent`` rebase a *pool worker's* stream under
+    the scheduling span that dispatched it: worker threads/processes start
+    their span stacks at depth 0, so without a rebase their roots read as
+    extra top-level trees.  Every replayed depth shifts by
+    ``depth_offset``, and depth-0 spans with no recorded parent adopt
+    ``root_parent`` — sequential (in-thread) replays pass neither and stay
+    byte-identical.
     """
     target = sink if sink is not None else active_sink()
     if target is NULL:
         return
+    rebase = depth_offset or root_parent is not None
     for event in snapshot.get("spans", ()):
+        if rebase:
+            event = dict(event)
+            depth = event.get("depth", 0)
+            if depth == 0 and not event.get("parent"):
+                event["parent"] = root_parent
+            event["depth"] = depth + depth_offset
         target.emit_span(SpanEvent(**event))
     for name, value in snapshot.get("counters", {}).items():
         target.emit_count(name, value)

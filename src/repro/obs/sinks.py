@@ -35,6 +35,14 @@ class SpanEvent:
     comparable within one process, meaningless across processes (merged
     snapshots keep per-worker starts as-is; only durations are comparable
     globally).  ``depth``/``parent`` reproduce the nesting at emit time.
+
+    ``trace_id``/``span_id``/``parent_id`` are the explicit causal
+    coordinates stamped when a :mod:`repro.obs.tracectx` context is
+    active: unlike ``depth``/``parent`` (thread-local nesting, ambiguous
+    across replayed worker snapshots), the ids survive process hops and
+    let :func:`repro.obs.analyze.build_forest` link a worker's spans under
+    the exact scheduling span that dispatched them.  All three stay None
+    on untraced runs, so id-less traces are byte-identical to before.
     """
 
     name: str
@@ -42,6 +50,9 @@ class SpanEvent:
     duration: float
     depth: int = 0
     parent: Optional[str] = None
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -134,6 +145,9 @@ class JsonlSink(Sink):
 
     def emit_span(self, event: SpanEvent) -> None:
         record = {"type": "span", **event.as_dict()}
+        if record["trace_id"] is None:
+            # Untraced spans keep the pre-trace wire format exactly.
+            del record["trace_id"], record["span_id"], record["parent_id"]
         self._file.write(json.dumps(record) + "\n")
 
     def emit_count(self, name: str, value: int) -> None:

@@ -1,0 +1,155 @@
+"""Request-scoped trace context: ids, propagation, and the wire header.
+
+A :class:`TraceContext` names a position in one causal tree: the trace it
+belongs to (``trace_id``), the span the next child will hang under
+(``span_id``), and that span's own parent (``parent_id``).  The current
+context lives in a :data:`contextvars.ContextVar`, so it follows native
+``async``/``await`` flow for free: every asyncio task gets its own copy,
+and within one thread it nests like a dynamic scope.
+
+What does **not** flow automatically — and what this module exists to
+bridge — are the three execution hops of a request through the engine:
+
+* ``run_in_executor`` publish hops in :mod:`repro.serve.service` — the
+  executor thread has its own (empty) context, so the service wraps the
+  engine call with :func:`bind` to reinstall the request's context there;
+* pool workers in :mod:`repro.core.parallel` — a :class:`TraceContext` is
+  a frozen dataclass of three strings, picklable by construction, so the
+  scheduler captures :func:`current` inside its ``parallel.schedule`` span
+  and ships it in each task payload; workers reinstall it with
+  :func:`use_trace` around their collectors, and the replayed
+  :class:`~repro.obs.sinks.SpanEvent` stream carries explicit parent ids
+  home;
+* HTTP boundaries — :func:`parse_traceparent` / ``to_traceparent`` speak
+  the W3C ``traceparent`` header (``00-<trace>-<span>-<flags>``), so a
+  caller can stitch the service's tree into its own.
+
+Id generation uses :func:`os.urandom`, never the numpy RNG — tracing must
+not perturb the seeded streams the behavior-neutrality tests pin.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+#: The only ``traceparent`` version this module emits (and the one it
+#: accepts; unknown versions are treated as absent rather than rejected
+#: loudly, per the W3C forward-compatibility rule for version 00 parsers).
+TRACEPARENT_VERSION = "00"
+
+_TRACE_HEX = 32  # 128-bit trace id, lowercase hex
+_SPAN_HEX = 16  # 64-bit span id, lowercase hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a causal span tree (immutable, picklable).
+
+    ``span_id`` is the id of the *enclosing* span — the one a new child
+    span will name as its parent.  A context with ``span_id=None`` is a
+    fresh trace root: the first span opened under it becomes a tree root
+    (``parent_id=None``) rather than hanging off a synthetic caller.
+    """
+
+    trace_id: str
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+
+    def child(self) -> "TraceContext":
+        """The context a span opened under this one runs its body in."""
+        return TraceContext(self.trace_id, new_span_id(), self.span_id)
+
+    def to_traceparent(self, sampled: bool = True) -> str:
+        """Render as a W3C ``traceparent`` header value."""
+        span_id = self.span_id if self.span_id else "0" * _SPAN_HEX
+        flags = "01" if sampled else "00"
+        return f"{TRACEPARENT_VERSION}-{self.trace_id}-{span_id}-{flags}"
+
+
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro.obs.trace", default=None
+)
+
+
+def current() -> Optional[TraceContext]:
+    """The trace context of the calling task/thread (None when untraced)."""
+    return _CURRENT.get()
+
+
+def new_trace_id() -> str:
+    return os.urandom(_TRACE_HEX // 2).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(_SPAN_HEX // 2).hex()
+
+
+def new_trace(trace_id: Optional[str] = None) -> TraceContext:
+    """A fresh root context (no enclosing span)."""
+    return TraceContext(trace_id if trace_id else new_trace_id())
+
+
+@contextmanager
+def use_trace(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Install ``ctx`` as the current trace context inside the block.
+
+    ``None`` is accepted and installs "untraced", which lets callers pass
+    a maybe-context through without branching.
+    """
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+def bind(ctx: Optional[TraceContext], fn: Callable, *args, **kwargs) -> Callable:
+    """A zero-arg callable running ``fn`` under ``ctx`` — the shape
+    ``loop.run_in_executor`` wants for hopping a context onto a worker
+    thread (executor threads do not inherit the submitting task's
+    contextvars)."""
+
+    def bound():
+        token = _CURRENT.set(ctx)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _CURRENT.reset(token)
+
+    return bound
+
+
+def _is_hex(value: str, width: int) -> bool:
+    if len(value) != width:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header into a context, or None.
+
+    Malformed headers (wrong field widths, non-hex, all-zero trace id)
+    yield None — the caller starts a fresh trace instead of failing the
+    request over a telemetry header.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id = parts[0], parts[1], parts[2]
+    if not _is_hex(version, 2) or version == "ff":
+        return None
+    if not _is_hex(trace_id, _TRACE_HEX) or trace_id == "0" * _TRACE_HEX:
+        return None
+    if not _is_hex(span_id, _SPAN_HEX) or span_id == "0" * _SPAN_HEX:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)

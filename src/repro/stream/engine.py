@@ -173,6 +173,10 @@ class StreamingAnonymizer:
         self._next_tid = 0
         self._deferrals = 0
         self._scoped_rounds = 0  # consecutive scoped publishes deferred
+        #: Sequence → trace id of the request whose publish produced it
+        #: (only sequences published under an active trace context appear;
+        #: metadata-sized, like the ledger's stamp trail).
+        self._publish_traces: dict[int, str] = {}
 
     # -- public surface --------------------------------------------------------
 
@@ -222,6 +226,10 @@ class StreamingAnonymizer:
 
     # -- decision rule ---------------------------------------------------------
 
+    def publish_trace(self, sequence: int) -> Optional[str]:
+        """Trace id of the request that published ``sequence`` (if traced)."""
+        return self._publish_traces.get(sequence)
+
     def _try_publish(self, force: bool) -> Optional[Release]:
         if not self._pending:
             return None
@@ -232,6 +240,7 @@ class StreamingAnonymizer:
                     release = self._publish_full("bootstrap", force)
                 self.stats.publish_latency.record(sp.duration)
                 self._record_memo_delta(memo_before)
+                self._stamp_trace(release, sp)
                 return release
             return None
         memo_before = self._memo_stats()
@@ -239,7 +248,19 @@ class StreamingAnonymizer:
             release = self._publish_incremental(force)
         self.stats.publish_latency.record(sp.duration)
         self._record_memo_delta(memo_before)
+        self._stamp_trace(release, sp)
         return release
+
+    def _stamp_trace(self, release: Optional[Release], sp: obs.span) -> None:
+        """Link a publication to the trace whose request drove it.
+
+        The scoped/full recompute spans inside the publish already carry
+        the context (it flows in-thread through the DIVA run and into the
+        pool payloads); this records the trace_id → sequence edge so the
+        release trail can point back at its producing request tree.
+        """
+        if release is not None and sp.trace_id is not None:
+            self._publish_traces[release.sequence] = sp.trace_id
 
     def _publish_incremental(self, force: bool) -> Optional[Release]:
         current = self.ledger.current

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, load_constraint_file, main
@@ -290,3 +292,176 @@ class TestBenchCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "dataset" in out and "credit" in out
+
+
+class TestReportErrors:
+    """``repro report`` fails loudly (exit 2) on unusable inputs."""
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_empty_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        rc = main(["report", str(path)])
+        assert rc == 2
+        assert "no spans or counters" in capsys.readouterr().err
+
+    def test_truncated_trace_exits_2(self, csv_relation, constraints_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "out.csv"
+        assert main(
+            [
+                "anonymize", str(csv_relation), str(out),
+                "-k", "2", "-c", str(constraints_file),
+                "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # A killed writer leaves a half-written final line.
+        data = trace.read_bytes()
+        trace.write_bytes(data[: len(data) - 25])
+        rc = main(["report", str(trace)])
+        assert rc == 2
+        assert "truncated or corrupt" in capsys.readouterr().err
+
+    def test_corrupt_record_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "record.json"
+        path.write_text("{not json")
+        rc = main(["report", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "not a run record" in err
+
+
+class TestTraceCommand:
+    def stored_payload(self, tmp_path):
+        from repro import obs
+        from repro.obs import tracectx
+
+        with obs.collecting() as collector:
+            with tracectx.use_trace(tracectx.new_trace()):
+                with obs.span("serve.request"):
+                    with obs.span("serve.publish"):
+                        pass
+        payload = {
+            "trace_id": "ab" * 16,
+            "state": "completed",
+            "method": "POST",
+            "path": "/ingest",
+            "status": 202,
+            "wall_s": 0.01,
+            "spans": obs.forest_payload(obs.build_forest(collector.spans)),
+        }
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_renders_stored_trace_json(self, tmp_path, capsys):
+        rc = main(["trace", str(self.stored_payload(tmp_path))])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace: " + "ab" * 16 in out
+        assert "state=completed" in out
+        assert "serve.request;serve.publish" in out  # folded stacks
+
+    def test_renders_jsonl_source(self, csv_relation, constraints_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "out.csv"
+        assert main(
+            [
+                "anonymize", str(csv_relation), str(out),
+                "-k", "2", "-c", str(constraints_file),
+                "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        rc = main(["trace", str(trace)])
+        assert rc == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["trace", str(tmp_path / "gone.json")])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_empty_spans_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "open.json"
+        path.write_text(json.dumps({"trace_id": "ab" * 16, "spans": []}))
+        rc = main(["trace", str(path)])
+        assert rc == 2
+        assert "no spans" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        rc = main(["trace", str(path)])
+        assert rc == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_2(self, capsys):
+        rc = main(["trace", "http://127.0.0.1:1", "ab" * 16])
+        assert rc == 2
+        assert "repro trace:" in capsys.readouterr().err
+
+    def test_live_service_fetch_and_index(self, capsys):
+        """End to end over a real socket: ingest with a caller traceparent,
+        fetch the tree by id, list the index."""
+        import asyncio
+        import threading
+        import urllib.request
+
+        from repro.core.constraints import ConstraintSet
+        from repro.data.relation import Schema
+        from repro.serve import AnonymizationService
+        from repro.stream import StreamingAnonymizer
+
+        schema = Schema.from_names(qi=["A", "B"], sensitive=["S"])
+        engine = StreamingAnonymizer(schema, ConstraintSet(), 2, bootstrap=4)
+        service = AnonymizationService(engine, micro_batch=4)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def serve():
+            asyncio.set_event_loop(loop)
+
+            async def _up():
+                await service.start()
+                started.set()
+
+            loop.run_until_complete(_up())
+            loop.run_forever()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            base = f"http://127.0.0.1:{service.port}"
+            rows = [["a1", "b1", "s1"], ["a1", "b1", "s2"],
+                    ["a2", "b2", "s1"], ["a2", "b2", "s3"]]
+            req = urllib.request.Request(
+                base + "/ingest",
+                data=json.dumps({"rows": rows}).encode(),
+                headers={"traceparent": "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"},
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                assert resp.status == 202
+
+            rc = main(["trace", base, "ab" * 16])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "trace: " + "ab" * 16 in out
+            assert "serve.request" in out
+
+            rc = main(["trace", base])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "completed traces" in out
+            assert "ab" * 16 in out
+        finally:
+            asyncio.run_coroutine_threadsafe(service.stop(), loop).result(10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)

@@ -28,6 +28,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import obs
+from repro.obs import tracectx
 from repro.core.constraints import ConstraintSet, DiversityConstraint
 from repro.core.diva import Diva
 from repro.core.index import RelationIndex, use_kernel_backend
@@ -446,6 +447,8 @@ class TestTaxonomy:
             "serve.publishes",
             "serve.release_fetches",
             "serve.release_not_modified",
+            "serve.traces_completed",
+            "serve.traces_evicted",
             "parallel.components",
             "parallel.tasks_dispatched",
             "parallel.tasks_chunked",
@@ -659,3 +662,124 @@ class TestOverheadGuard:
             f"null-sink preserved_count overhead above "
             f"{self.THRESHOLD - 1:.0%} in all attempts: ratios={ratios}"
         )
+
+
+# -- trace context -------------------------------------------------------------
+
+
+class TestTraceContext:
+    """The W3C wire format and the three propagation bridges."""
+
+    def test_traceparent_round_trip(self):
+        ctx = tracectx.TraceContext("ab" * 16, "cd" * 8)
+        parsed = tracectx.parse_traceparent(ctx.to_traceparent())
+        assert parsed.trace_id == "ab" * 16
+        assert parsed.span_id == "cd" * 8
+
+    def test_traceparent_flags(self):
+        ctx = tracectx.TraceContext("ab" * 16, "cd" * 8)
+        assert ctx.to_traceparent().endswith("-01")
+        assert ctx.to_traceparent(sampled=False).endswith("-00")
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-" + "ab" * 16 + "-" + "cd" * 8,          # 3 fields
+            "0-" + "ab" * 16 + "-" + "cd" * 8 + "-01",   # short version
+            "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # forbidden version
+            "00-" + "00" * 16 + "-" + "cd" * 8 + "-01",  # zero trace id
+            "00-" + "ab" * 16 + "-" + "00" * 8 + "-01",  # zero span id
+            "00-" + "ab" * 15 + "-" + "cd" * 8 + "-01",  # short trace id
+            "00-" + "zz" * 16 + "-" + "cd" * 8 + "-01",  # non-hex
+        ],
+    )
+    def test_malformed_traceparent_rejected(self, header):
+        assert tracectx.parse_traceparent(header) is None
+
+    def test_unknown_version_accepted(self):
+        """Per W3C forward compatibility, only ``ff`` is invalid."""
+        header = "01-" + "ab" * 16 + "-" + "cd" * 8 + "-01-extra"
+        parsed = tracectx.parse_traceparent(header)
+        assert parsed is not None and parsed.trace_id == "ab" * 16
+
+    def test_child_allocates_under_current_span(self):
+        root = tracectx.new_trace()
+        assert root.span_id is None
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id is None  # root has no enclosing span
+        grandchild = child.child()
+        assert grandchild.parent_id == child.span_id
+
+    def test_use_trace_scopes_and_accepts_none(self):
+        assert tracectx.current() is None
+        ctx = tracectx.new_trace()
+        with tracectx.use_trace(ctx):
+            assert tracectx.current() is ctx
+            with tracectx.use_trace(None):
+                assert tracectx.current() is None
+            assert tracectx.current() is ctx
+        assert tracectx.current() is None
+
+    def test_bind_carries_context_to_foreign_thread(self):
+        """The ``run_in_executor`` bridge: executor threads see the bound
+        context, and only for the call's duration."""
+        ctx = tracectx.new_trace()
+        seen = {}
+
+        def probe(tag):
+            seen[tag] = tracectx.current()
+            return tag
+
+        thread = threading.Thread(target=tracectx.bind(ctx, probe, "bound"))
+        thread.start()
+        thread.join()
+        bare = threading.Thread(target=probe, args=("bare",))
+        bare.start()
+        bare.join()
+        assert seen["bound"] is ctx
+        assert seen["bare"] is None
+
+    def test_context_is_picklable(self):
+        import pickle
+
+        ctx = tracectx.new_trace().child()
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_spans_stamp_ids_under_a_trace(self):
+        with obs.collecting() as collector:
+            with tracectx.use_trace(tracectx.new_trace()):
+                with obs.span("diva.run"):
+                    with obs.span("diva.anonymize"):
+                        pass
+        inner, outer = collector.spans
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+
+    def test_spans_stay_idless_without_a_trace(self):
+        with obs.collecting() as collector:
+            with obs.span("diva.run"):
+                pass
+        (event,) = collector.spans
+        assert event.trace_id is None
+        assert event.span_id is None
+        assert event.parent_id is None
+
+    def test_jsonl_wire_format_drops_ids_when_untraced(self):
+        buffer = io.StringIO()
+        sink = obs.JsonlSink(buffer)
+        with obs.use_sink(sink):
+            with obs.span("diva.run"):
+                pass
+            with tracectx.use_trace(tracectx.new_trace()):
+                with obs.span("diva.run"):
+                    pass
+        untraced, traced = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        assert "trace_id" not in untraced
+        assert traced["trace_id"] and traced["span_id"]

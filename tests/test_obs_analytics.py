@@ -17,6 +17,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import obs
+from repro.core.constraints import ConstraintSet, DiversityConstraint
+from repro.core.parallel import component_coloring
+from repro.obs import tracectx
 from repro.obs.hist import Histogram
 
 durations_ns = st.integers(min_value=0, max_value=10**12)
@@ -176,3 +179,147 @@ class TestCriticalPathProperties:
         roots = obs.build_forest(collector.spans)
         assert len(roots) == 3
         assert all(not r.children for r in roots)
+
+
+# -- explicit-id linking -------------------------------------------------------
+
+
+def id_event(name, span_id, parent_id, depth=0, start=0.0, duration=1.0):
+    return obs.SpanEvent(
+        name=name, start=start, duration=duration, depth=depth, parent=None,
+        trace_id="ab" * 16, span_id=span_id, parent_id=parent_id,
+    )
+
+
+class TestIdLinkedForest:
+    def test_ids_link_across_depth_and_process(self):
+        """A worker span recorded at depth 0 in its own process still
+        attaches under the scheduling span that names it by id."""
+        events = [
+            id_event("coloring.search", "c1", "p1", depth=0),
+            id_event("parallel.schedule", "p1", "r1", depth=2),
+            id_event("serve.request", "r1", None, depth=0),
+        ]
+        (root,) = obs.build_forest(events)
+        assert root.name == "serve.request"
+        (schedule,) = root.children
+        assert schedule.name == "parallel.schedule"
+        (search,) = schedule.children
+        assert search.name == "coloring.search"
+        # Depths renumbered to tree position, not the emitting context's.
+        assert (root.depth, schedule.depth, search.depth) == (0, 1, 2)
+
+    def test_unclaimed_parent_promotes_to_root(self):
+        """A per-request slice can cut below the caller: children whose
+        parent never closes in the stream become roots, not garbage."""
+        events = [
+            id_event("stream.publish", "b1", "missing", depth=1),
+            id_event("serve.request", "r1", None, depth=0),
+        ]
+        roots = obs.build_forest(events)
+        assert sorted(r.name for r in roots) == [
+            "serve.request", "stream.publish",
+        ]
+        assert all(r.depth == 0 for r in roots)
+
+    def test_sibling_close_order_preserved(self):
+        events = [
+            id_event("graph.build", "a", "p", start=0.0),
+            id_event("coloring.search", "b", "p", start=1.0),
+            id_event("parallel.schedule", "p", None, depth=0),
+        ]
+        (root,) = obs.build_forest(events)
+        assert [c.name for c in root.children] == [
+            "graph.build", "coloring.search",
+        ]
+
+    def test_mixed_id_and_idless_events(self):
+        """Id-carrying and heuristic events coexist: each uses its own
+        linking strategy without stealing the other's nodes."""
+        events = [
+            # An id-less nested pair (the pre-trace wire format).
+            obs.SpanEvent(
+                name="kmember.cluster", start=0.0, duration=0.4,
+                depth=1, parent="diva.anonymize",
+            ),
+            obs.SpanEvent(
+                name="diva.anonymize", start=0.0, duration=0.5,
+                depth=0, parent=None,
+            ),
+            # An id-linked pair interleaved in the same stream.
+            id_event("coloring.search", "c", "p", depth=0),
+            id_event("parallel.schedule", "p", None, depth=0),
+        ]
+        roots = obs.build_forest(events)
+        by_name = {r.name: r for r in roots}
+        assert set(by_name) == {"diva.anonymize", "parallel.schedule"}
+        assert [c.name for c in by_name["diva.anonymize"].children] == [
+            "kmember.cluster"
+        ]
+        assert [c.name for c in by_name["parallel.schedule"].children] == [
+            "coloring.search"
+        ]
+
+    def test_forest_payload_round_trip(self):
+        events = [
+            id_event("coloring.search", "c1", "p1", depth=0, duration=0.25),
+            id_event("parallel.schedule", "p1", None, depth=0, duration=1.0),
+        ]
+        roots = obs.build_forest(events)
+        payload = obs.forest_payload(roots)
+        rebuilt = obs.forest_from_payload(payload)
+        assert obs.forest_payload(rebuilt) == payload
+        (root,) = rebuilt
+        assert root.span_id == "p1"
+        assert root.children[0].self_time == pytest.approx(0.25)
+
+    def test_analyze_forest_matches_rebuilt_tree(self):
+        events = [
+            id_event("coloring.search", "c1", "p1", depth=0, duration=0.25),
+            id_event("parallel.schedule", "p1", None, depth=0, duration=1.0),
+        ]
+        roots = obs.build_forest(events)
+        analysis = obs.analyze_forest(roots, counters={"graph.nodes": 3})
+        assert analysis.counters == {"graph.nodes": 3}
+        assert analysis.self_times["parallel.schedule"].count == 1
+        assert "parallel.schedule;coloring.search" in analysis.folded
+
+
+class TestPooledReplayFolding:
+    """Satellite regression: pooled worker snapshots must fold under
+    ``parallel.schedule`` (one scheduling subtree), not surface as extra
+    forest roots — for both linking strategies."""
+
+    SIGMA = [
+        DiversityConstraint("ETH", "Asian", 2, 5),
+        DiversityConstraint("ETH", "African", 1, 3),
+        DiversityConstraint("GEN", "Female", 2, 5),
+    ]
+
+    @pytest.mark.parametrize("traced", [False, True])
+    def test_pooled_stacks_fold_under_schedule(self, paper_relation, traced):
+        with obs.collecting() as collector:
+            ctx = tracectx.new_trace() if traced else None
+            with tracectx.use_trace(ctx):
+                result = component_coloring(
+                    paper_relation, ConstraintSet(self.SIGMA),
+                    k=2, seed=4, max_workers=4,
+                )
+        assert result.success
+        roots = obs.build_forest(collector.spans)
+        root_names = [r.name for r in roots]
+        assert obs.SPAN_PARALLEL_SCHEDULE in root_names
+        # Worker spans never show up as roots of their own.
+        assert obs.SPAN_COLORING_SEARCH not in root_names
+        assert obs.SPAN_ENUMERATE_CANDIDATES not in root_names
+        (schedule,) = [
+            r for r in roots if r.name == obs.SPAN_PARALLEL_SCHEDULE
+        ]
+        child_names = {c.name for c in schedule.children}
+        assert obs.SPAN_COLORING_SEARCH in child_names
+        assert all(c.depth == schedule.depth + 1 for c in schedule.children)
+        folded = obs.folded_stacks(roots)
+        assert any(
+            key.startswith("parallel.schedule;coloring.search")
+            for key in folded
+        )
